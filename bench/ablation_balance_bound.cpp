@@ -1,0 +1,44 @@
+// Ablation — the 1.03 balance bound (paper §IV-A, §IV-D).
+//
+// The paper bounds edge-weight imbalance during greedy graph growing and
+// node-weight imbalance during k-way refinement at 3 %. This ablation sweeps
+// the bound to show the cut-vs-balance trade-off that motivates it.
+#include "bench_common.hpp"
+
+#include "partition/mlpart.hpp"
+#include "partition/partition.hpp"
+
+int main() {
+  using namespace focus;
+  using namespace focus::bench;
+
+  print_header("ABLATION — balance bound sweep (GGG edge balance + k-way node balance)");
+
+  auto bundle = prepare_dataset(1);
+  const auto& hierarchy = bundle.hybrid.hierarchy;
+  constexpr PartId kParts = 16;
+
+  const std::vector<int> widths{10, 16, 16, 16};
+  print_row({"Bound", "Cut (G'0)", "Node balance", "vtime (s)"}, widths);
+
+  for (const double bound : {1.001, 1.01, 1.03, 1.10, 1.30, 2.0}) {
+    partition::PartitionerConfig cfg;
+    cfg.seed = 3;
+    cfg.ggg.edge_balance_bound = bound;
+    cfg.kway.balance_bound = bound;
+    const auto run =
+        partition::partition_hierarchy_parallel(hierarchy, kParts, cfg, 8);
+    const double balance = partition::node_balance(
+        hierarchy.finest(), run.partitioning.finest(), kParts);
+    print_row({fmt(bound, 3), std::to_string(run.partitioning.finest_cut),
+               fmt(balance, 3), fmt(run.stats.makespan, 5)},
+              widths);
+  }
+
+  std::printf(
+      "\nExpected: very tight bounds (1.001) constrain refinement and can "
+      "leave cut\non the table; loose bounds (>1.3) improve cut slightly but "
+      "degrade balance,\nwhich would skew per-worker load in the distributed "
+      "phases. 1.03 (paper) sits\nnear the knee.\n");
+  return 0;
+}

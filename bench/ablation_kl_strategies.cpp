@@ -1,0 +1,84 @@
+// Ablation — Kernighan–Lin pair-search strategies (paper §IV-B).
+//
+// The paper motivates the sorted-array + diagonal-scanning pair search
+// (O(n² log n)) over the naive all-pairs search (O(n³)), plus the
+// 50-idle-swap early stop. This ablation measures both strategies and the
+// effect of the idle cutoff on work and cut quality.
+#include "bench_common.hpp"
+
+#include "common/rng.hpp"
+#include "partition/ggg.hpp"
+#include "partition/kl.hpp"
+#include "partition/partition.hpp"
+
+namespace {
+
+focus::graph::Graph random_graph(std::uint64_t seed, std::size_t n,
+                                 std::size_t extra) {
+  focus::Rng rng(seed);
+  focus::graph::GraphBuilder b(n);
+  for (focus::NodeId v = 1; v < n; ++v) {
+    b.add_edge(v, static_cast<focus::NodeId>(rng.next_below(v)),
+               1 + static_cast<focus::Weight>(rng.next_below(50)));
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<focus::NodeId>(rng.next_below(n));
+    const auto v = static_cast<focus::NodeId>(rng.next_below(n));
+    if (u != v) {
+      b.add_edge(u, v, 1 + static_cast<focus::Weight>(rng.next_below(50)));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace focus;
+  using namespace focus::bench;
+
+  print_header("ABLATION — KL pair-search strategy and idle-swap cutoff");
+
+  const std::vector<int> widths{8, 26, 14, 16, 12};
+  print_row({"n", "Strategy", "Cut", "Work units", "Wall (ms)"}, widths);
+
+  for (const std::size_t n : {64, 128, 256, 512}) {
+    const auto g = random_graph(0xab1 + n, n, 3 * n);
+
+    struct Variant {
+      const char* name;
+      partition::KlConfig cfg;
+    };
+    partition::KlConfig diagonal;
+    partition::KlConfig naive;
+    naive.diagonal_scanning = false;
+    partition::KlConfig no_idle_stop;
+    no_idle_stop.idle_swap_limit = 100000;  // effectively disabled
+
+    const Variant variants[] = {
+        {"diagonal-scan (paper)", diagonal},
+        {"naive all-pairs", naive},
+        {"diagonal, no idle stop", no_idle_stop},
+    };
+
+    for (const auto& variant : variants) {
+      Rng rng(9);
+      auto part = partition::greedy_graph_growing(g, rng);
+      double work = 0.0;
+      Timer timer;
+      const Weight cut =
+          partition::kl_bisection_refine(g, part, variant.cfg, &work);
+      print_row({std::to_string(n), variant.name, std::to_string(cut),
+                 fmt(work, 0), fmt(timer.seconds() * 1e3, 1)},
+                widths);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: diagonal scanning reaches the same cut as the naive search "
+      "with\nfar less work (the gap grows with n, reflecting O(n^2 log n) vs "
+      "O(n^3));\ndisabling the idle cutoff adds work without improving the "
+      "cut.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// google-benchmark microbenches for the computational kernels: suffix-array
+// construction, banded NW, k-mer overlap query, HEM coarsening, greedy graph
+// growing, KL refinement, and mpr messaging.
+#include <benchmark/benchmark.h>
+
+#include "align/banded_nw.hpp"
+#include "align/overlapper.hpp"
+#include "align/suffix_array.hpp"
+#include "common/rng.hpp"
+#include "graph/coarsen.hpp"
+#include "mpr/runtime.hpp"
+#include "partition/ggg.hpp"
+#include "partition/kl.hpp"
+#include "sim/genome.hpp"
+
+namespace {
+
+using namespace focus;
+
+std::string random_dna(std::uint64_t seed, std::size_t len) {
+  Rng rng(seed);
+  return sim::random_genome(len, rng);
+}
+
+graph::Graph random_graph(std::uint64_t seed, std::size_t n, std::size_t extra) {
+  Rng rng(seed);
+  graph::GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.add_edge(v, static_cast<NodeId>(rng.next_below(v)),
+               1 + static_cast<Weight>(rng.next_below(50)));
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u != v) b.add_edge(u, v, 1 + static_cast<Weight>(rng.next_below(50)));
+  }
+  return b.build();
+}
+
+void BM_SuffixArrayBuild(benchmark::State& state) {
+  const auto text = random_dna(1, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    align::SuffixArray sa(text);
+    benchmark::DoNotOptimize(sa.size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuffixArrayBuild)->Arg(10000)->Arg(100000)->Arg(400000);
+
+void BM_SuffixArrayQuery(benchmark::State& state) {
+  const auto text = random_dna(2, 200000);
+  align::SuffixArray sa(text);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto pos = rng.next_below(text.size() - 16);
+    benchmark::DoNotOptimize(
+        sa.count(std::string_view(text).substr(pos, 16)));
+  }
+}
+BENCHMARK(BM_SuffixArrayQuery);
+
+void BM_BandedNw(benchmark::State& state) {
+  const auto band = static_cast<std::uint32_t>(state.range(0));
+  const auto a = random_dna(4, 100);
+  auto b = a;
+  b[10] = b[10] == 'A' ? 'C' : 'A';
+  b[50] = b[50] == 'G' ? 'T' : 'G';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_global_align(a, b, band));
+  }
+}
+BENCHMARK(BM_BandedNw)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OverlapQuery(benchmark::State& state) {
+  // Index 500 reads from a genome, query one read against it.
+  Rng rng(5);
+  const auto genome = random_dna(6, 20000);
+  io::ReadSet reads;
+  std::vector<ReadId> members;
+  for (int i = 0; i < 500; ++i) {
+    const auto pos = rng.next_below(genome.size() - 100);
+    reads.add(io::Read{"r" + std::to_string(i), genome.substr(pos, 100), "",
+                       kInvalidRead, false});
+    members.push_back(static_cast<ReadId>(i));
+  }
+  const align::RefIndex index(reads, members);
+  align::OverlapperConfig cfg;
+  cfg.k = 14;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::query_overlaps(reads, index, 0, cfg));
+  }
+}
+BENCHMARK(BM_OverlapQuery);
+
+void BM_HeavyEdgeMatching(benchmark::State& state) {
+  const auto g = random_graph(7, static_cast<std::size_t>(state.range(0)),
+                              3 * static_cast<std::size_t>(state.range(0)));
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::heavy_edge_matching(g, rng));
+  }
+}
+BENCHMARK(BM_HeavyEdgeMatching)->Arg(1000)->Arg(10000);
+
+void BM_CoarsenFull(benchmark::State& state) {
+  const auto g = random_graph(9, static_cast<std::size_t>(state.range(0)),
+                              3 * static_cast<std::size_t>(state.range(0)));
+  graph::CoarsenConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_multilevel(g, cfg).depth());
+  }
+}
+BENCHMARK(BM_CoarsenFull)->Arg(1000)->Arg(10000);
+
+void BM_GreedyGraphGrowing(benchmark::State& state) {
+  const auto g = random_graph(10, static_cast<std::size_t>(state.range(0)),
+                              3 * static_cast<std::size_t>(state.range(0)));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::greedy_graph_growing(g, rng));
+  }
+}
+BENCHMARK(BM_GreedyGraphGrowing)->Arg(1000)->Arg(10000);
+
+void BM_KlRefine(benchmark::State& state) {
+  const auto g = random_graph(12, static_cast<std::size_t>(state.range(0)),
+                              3 * static_cast<std::size_t>(state.range(0)));
+  Rng rng(13);
+  const auto initial = partition::greedy_graph_growing(g, rng);
+  for (auto _ : state) {
+    auto part = initial;
+    benchmark::DoNotOptimize(partition::kl_bisection_refine(g, part));
+  }
+}
+BENCHMARK(BM_KlRefine)->Arg(200)->Arg(800);
+
+void BM_MprPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto stats = mpr::Runtime::execute(2, [&](mpr::Comm& comm) {
+      if (comm.rank() == 0) {
+        mpr::Message m;
+        m.pack_vector(std::vector<std::uint8_t>(bytes, 1));
+        comm.send(1, 0, std::move(m));
+        comm.recv(1, 1);
+      } else {
+        comm.recv(0, 0);
+        mpr::Message m;
+        m.pack<std::uint8_t>(1);
+        comm.send(0, 1, std::move(m));
+      }
+    });
+    benchmark::DoNotOptimize(stats.makespan);
+  }
+}
+BENCHMARK(BM_MprPingPong)->Arg(64)->Arg(65536);
+
+void BM_MprAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto stats = mpr::Runtime::execute(ranks, [](mpr::Comm& comm) {
+      benchmark::DoNotOptimize(comm.allreduce_sum(comm.rank()));
+    });
+    benchmark::DoNotOptimize(stats.makespan);
+  }
+}
+BENCHMARK(BM_MprAllreduce)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table III — Assembly statistics across partitionings.
+//
+// Paper: N50, maximum contig length, and contig count for assemblies run on
+// 4/16/32/64-way partitionings of the hybrid graph; the statistics are
+// nearly constant across partition counts, demonstrating that partitioning
+// does not degrade assembly quality.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace focus;
+  using namespace focus::bench;
+
+  print_header("TABLE III — Assembly statistics across hybrid-graph partitionings");
+
+  const std::vector<int> widths{10, 8, 12, 18, 16};
+  print_row({"Dataset", "k", "N50 (bp)", "Max contig (bp)", "Num contigs"},
+            widths);
+
+  for (int d = 1; d <= sim::dataset_count(); ++d) {
+    const auto ds = sim::make_dataset(d, bench_scale(), bench_coverage());
+    for (const PartId k : {4, 16, 32, 64}) {
+      core::FocusConfig cfg = bench_config();
+      cfg.partitions = k;
+      cfg.ranks = std::min<int>(k, 8);
+      const auto result = core::assemble_reads(ds.data.reads, cfg);
+      print_row({ds.name, std::to_string(k),
+                 std::to_string(result.stats.n50),
+                 std::to_string(result.stats.max_contig),
+                 std::to_string(result.stats.contig_count)},
+                widths);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape (paper): N50, max contig, and contig count vary only\n"
+      "marginally across k — assembly quality is insensitive to how the\n"
+      "hybrid graph is partitioned.\n");
+  return 0;
+}

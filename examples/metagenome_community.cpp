@@ -1,0 +1,72 @@
+// Metagenome community analysis (the paper's §VI-E use case).
+//
+// Assembles a simulated gut-microbiome dataset, partitions its hybrid graph,
+// classifies reads by genus, and shows how the partitioning itself exposes
+// community structure: genera concentrate in few partitions and related
+// genera co-locate — "HPC as an analysis tool, not just a speedup".
+//
+//   $ ./metagenome_community [dataset 1..3] [partitions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/assembler.hpp"
+#include "core/classify.hpp"
+#include "core/community.hpp"
+#include "sim/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace focus;
+
+  const int which = argc > 1 ? std::atoi(argv[1]) : 1;
+  const PartId parts = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  std::printf("Building dataset D%d (synthetic gut metagenome)...\n", which);
+  const auto ds = sim::make_dataset(which, /*scale=*/0.5, /*coverage=*/12.0);
+  std::printf("Community: %zu genera across %zu phyla, %zu reads\n",
+              ds.community.size(), ds.community.phyla().size(),
+              ds.data.reads.size());
+
+  core::FocusConfig config;
+  config.partitions = parts;
+  config.ranks = 8;
+  std::printf("Assembling with k = %d partitions...\n", parts);
+  const auto result = core::assemble_reads(ds.data.reads, config);
+  std::printf("Assembly: %zu contigs, N50 = %llu bp\n",
+              result.stats.contig_count,
+              static_cast<unsigned long long>(result.stats.n50));
+
+  // Classify the preprocessed reads with the k-mer voter (the paper used BWA
+  // against a reference database here).
+  const core::KmerClassifier classifier(ds.community, 21);
+  const auto genus_of = classifier.classify_reads(result.reads);
+
+  std::vector<std::string> names, phyla;
+  for (const auto& g : ds.community.genera) {
+    names.push_back(g.name);
+    phyla.push_back(g.phylum);
+  }
+  const auto matrix = core::genus_partition_distribution(
+      genus_of, result.read_partition, names, parts);
+
+  std::printf("\nGenus x partition heat map (fraction of each genus's reads):\n");
+  std::printf("%s", core::render_heatmap(matrix).c_str());
+
+  const auto conc = core::concentration(matrix);
+  std::printf("\nGenus concentration (max partition fraction; uniform = %.3f):\n",
+              1.0 / parts);
+  for (std::size_t g = 0; g < names.size(); ++g) {
+    std::printf("  %-18s %.3f  (%zu classified reads)\n", names[g].c_str(),
+                conc[g], matrix.classified_reads[g]);
+  }
+
+  const auto cc = core::phylum_coclustering(matrix, phyla);
+  std::printf("\nPhylum co-clustering: mean Pearson r within a phylum = %.3f, "
+              "between phyla = %.3f\n",
+              cc.within_phylum, cc.between_phyla);
+  if (cc.within_phylum > cc.between_phyla) {
+    std::printf("=> Related genera co-locate in partitions, as in the paper's Fig. 7.\n");
+  } else {
+    std::printf("=> Co-clustering signal not detected at this scale.\n");
+  }
+  return 0;
+}

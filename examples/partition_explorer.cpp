@@ -1,0 +1,79 @@
+// Partition explorer: compares the paper's two partitioning routes on one
+// dataset — the naïve multilevel route (full uncoarsening to the overlap
+// graph G0) vs the biology-aware hybrid route (stop at the hybrid graph G'0
+// and project) — across a sweep of partition counts.
+//
+//   $ ./partition_explorer [dataset 1..3] [ranks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "align/overlapper.hpp"
+#include "core/assembler.hpp"
+#include "graph/hybrid.hpp"
+#include "io/preprocess.hpp"
+#include "partition/mlpart.hpp"
+#include "partition/partition.hpp"
+#include "sim/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace focus;
+
+  const int which = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::printf("Preparing dataset D%d...\n", which);
+  const auto ds = sim::make_dataset(which, /*scale=*/0.4, /*coverage=*/10.0);
+  core::FocusConfig cfg;
+  const auto reads = io::preprocess(ds.data.reads, cfg.preprocess);
+  const auto overlaps = align::find_overlaps_serial(reads, cfg.overlap);
+  const auto g0 = graph::build_overlap_graph(reads.size(), overlaps);
+  const auto ml = graph::build_multilevel(g0, cfg.coarsen);
+  const auto read_graph = graph::build_read_digraph(reads.size(), overlaps);
+  std::vector<std::uint32_t> lengths;
+  for (const auto& r : reads) {
+    lengths.push_back(static_cast<std::uint32_t>(r.seq.size()));
+  }
+  const auto hybrid = graph::build_hybrid(ml, read_graph, lengths);
+
+  std::printf(
+      "\nGraphs: G0 has %zu nodes / %zu edges; hybrid graph G'0 has %zu "
+      "nodes / %zu edges\n",
+      g0.node_count(), g0.edge_count(),
+      hybrid.hybrid_graph().node_count(), hybrid.hybrid_graph().edge_count());
+  std::printf("Representatives per multilevel level:");
+  for (std::size_t l = 0; l < hybrid.reps_per_level.size(); ++l) {
+    std::printf(" L%zu:%zu", l, hybrid.reps_per_level[l]);
+  }
+  std::printf("\n\n%-6s %-22s %-22s %-12s %-12s\n", "k",
+              "hybrid vtime (cut on G0)", "multi vtime (cut on G0)",
+              "speed ratio", "cut ratio");
+
+  for (const PartId k : {2, 4, 8, 16, 32}) {
+    partition::PartitionerConfig pcfg;
+    pcfg.seed = 5;
+    const auto hybrid_run = partition::partition_hierarchy_parallel(
+        hybrid.hierarchy, k, pcfg, ranks);
+    const auto read_parts = hybrid.project_to_reads(
+        hybrid_run.partitioning.finest(), reads.size());
+    const Weight hybrid_cut = partition::edge_cut(g0, read_parts);
+
+    const auto multi_run =
+        partition::partition_hierarchy_parallel(ml, k, pcfg, ranks);
+    const Weight multi_cut = multi_run.partitioning.finest_cut;
+
+    std::printf("%-6d %10.5fs (%8lld) %10.5fs (%8lld) %10.2fx %10.2f\n", k,
+                hybrid_run.stats.makespan,
+                static_cast<long long>(hybrid_cut), multi_run.stats.makespan,
+                static_cast<long long>(multi_cut),
+                multi_run.stats.makespan / hybrid_run.stats.makespan,
+                static_cast<double>(hybrid_cut) /
+                    static_cast<double>(std::max<Weight>(multi_cut, 1)));
+  }
+
+  std::printf(
+      "\nReading the table: 'speed ratio' > 1 means the hybrid route is "
+      "faster;\n'cut ratio' < 1 means it also found a better edge cut on the "
+      "full overlap\ngraph. The paper reports ~2x speed with the better cut "
+      "in most cases.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "align/banded_nw.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace focus::align {
+
+namespace {
+
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 2;
+
+enum Move : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+
+}  // namespace
+
+double banded_align_work(std::size_t len_a, std::size_t len_b,
+                         std::uint32_t band) {
+  const std::size_t diff =
+      len_a > len_b ? len_a - len_b : len_b - len_a;
+  return static_cast<double>((len_a + 1)) *
+         static_cast<double>(2 * band + diff + 1);
+}
+
+AlignmentResult banded_global_align(std::string_view a, std::string_view b,
+                                    std::uint32_t band,
+                                    const AlignScoring& scoring) {
+  const auto n = static_cast<std::int64_t>(a.size());
+  const auto m = static_cast<std::int64_t>(b.size());
+  const std::int64_t skew = m - n;
+  // Diagonal band: j - i in [dlo, dhi]; skew-adjusted so the (0,0) and (n,m)
+  // corners are always inside the band.
+  const std::int64_t dlo = std::min<std::int64_t>(0, skew) - band;
+  const std::int64_t dhi = std::max<std::int64_t>(0, skew) + band;
+  const std::int64_t width = dhi - dlo + 1;
+
+  std::vector<std::int32_t> prev(static_cast<std::size_t>(width), kNegInf);
+  std::vector<std::int32_t> cur(static_cast<std::size_t>(width), kNegInf);
+  // moves[(i * width) + (j - (i + dlo))]
+  std::vector<std::uint8_t> moves(
+      static_cast<std::size_t>((n + 1) * width), kStop);
+
+  for (std::int64_t i = 0; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kNegInf);
+    const std::int64_t jlo = std::max<std::int64_t>(0, i + dlo);
+    const std::int64_t jhi = std::min<std::int64_t>(m, i + dhi);
+    for (std::int64_t j = jlo; j <= jhi; ++j) {
+      const std::int64_t idx = j - (i + dlo);
+      std::int32_t best = kNegInf;
+      std::uint8_t move = kStop;
+      if (i == 0 && j == 0) {
+        best = 0;
+      } else {
+        if (i > 0 && j > 0) {
+          const std::int64_t pidx = (j - 1) - (i - 1 + dlo);
+          if (pidx >= 0 && pidx < width &&
+              prev[static_cast<std::size_t>(pidx)] > kNegInf) {
+            const bool is_match = a[static_cast<std::size_t>(i - 1)] ==
+                                  b[static_cast<std::size_t>(j - 1)];
+            const std::int32_t s =
+                prev[static_cast<std::size_t>(pidx)] +
+                (is_match ? scoring.match : scoring.mismatch);
+            if (s > best) {
+              best = s;
+              move = kDiag;
+            }
+          }
+        }
+        if (i > 0) {
+          const std::int64_t pidx = j - (i - 1 + dlo);
+          if (pidx >= 0 && pidx < width &&
+              prev[static_cast<std::size_t>(pidx)] > kNegInf) {
+            const std::int32_t s =
+                prev[static_cast<std::size_t>(pidx)] + scoring.gap;
+            if (s > best) {
+              best = s;
+              move = kUp;
+            }
+          }
+        }
+        if (j > jlo && cur[static_cast<std::size_t>(idx - 1)] > kNegInf) {
+          const std::int32_t s =
+              cur[static_cast<std::size_t>(idx - 1)] + scoring.gap;
+          if (s > best) {
+            best = s;
+            move = kLeft;
+          }
+        }
+      }
+      cur[static_cast<std::size_t>(idx)] = best;
+      moves[static_cast<std::size_t>(i * width + idx)] = move;
+    }
+    prev.swap(cur);
+  }
+
+  AlignmentResult result;
+  const std::int64_t final_idx = m - (n + dlo);
+  FOCUS_ASSERT(final_idx >= 0 && final_idx < width,
+               "band does not contain the terminal corner");
+  const std::int32_t final_score = prev[static_cast<std::size_t>(final_idx)];
+  if (final_score <= kNegInf) return result;  // unreachable within band
+
+  result.valid = true;
+  result.score = final_score;
+
+  // Traceback (runs from the alignment's end to its start).
+  bool in_tail_run = true;
+  std::uint32_t last_gap_run = 0;
+  std::int64_t i = n, j = m;
+  while (i != 0 || j != 0) {
+    const std::int64_t idx = j - (i + dlo);
+    const std::uint8_t move = moves[static_cast<std::size_t>(i * width + idx)];
+    switch (move) {
+      case kDiag:
+        if (a[static_cast<std::size_t>(i - 1)] ==
+            b[static_cast<std::size_t>(j - 1)]) {
+          ++result.matches;
+        } else {
+          ++result.mismatches;
+        }
+        --i;
+        --j;
+        in_tail_run = false;
+        last_gap_run = 0;
+        break;
+      case kUp:
+      case kLeft:
+        ++result.gaps;
+        if (in_tail_run) {
+          ++result.tail_gaps;
+        } else {
+          ++last_gap_run;
+        }
+        if (move == kUp) {
+          --i;
+        } else {
+          --j;
+        }
+        break;
+      case kStop:
+      default:
+        FOCUS_ASSERT(false, "broken traceback in banded alignment");
+    }
+    ++result.columns;
+  }
+  // Whatever gap run was still open when traceback reached (0,0) sits at the
+  // alignment's start.
+  result.lead_gaps = in_tail_run ? 0 : last_gap_run;
+  return result;
+}
+
+}  // namespace focus::align

@@ -1,0 +1,66 @@
+// Banded Needleman–Wunsch global alignment (paper §II-B: candidate overlaps
+// found by k-mer seeding are verified "using banded Needleman-Wunsch
+// alignment").
+//
+// The DP is restricted to a diagonal band of half-width `band`, so aligning
+// two ~L-base overlap regions costs O(band * L) instead of O(L^2). The
+// traceback yields the number of aligned columns and matches, from which the
+// paper's two acceptance criteria — alignment length and alignment identity —
+// are computed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace focus::align {
+
+struct AlignmentResult {
+  bool valid = false;        // false if the band could not connect the corners
+  std::uint32_t columns = 0; // total alignment columns (matches+mismatches+gaps)
+  std::uint32_t matches = 0;
+  std::uint32_t mismatches = 0;
+  std::uint32_t gaps = 0;
+  /// Length of the gap runs at the alignment's two ends. When the aligned
+  /// windows are slightly misregistered (an offset-estimate error), the true
+  /// overlap is flanked by terminal gaps; end-trimmed statistics ignore them.
+  std::uint32_t lead_gaps = 0;
+  std::uint32_t tail_gaps = 0;
+  std::int32_t score = 0;
+
+  double identity() const {
+    return columns == 0 ? 0.0
+                        : static_cast<double>(matches) /
+                              static_cast<double>(columns);
+  }
+
+  /// Columns excluding terminal gap runs.
+  std::uint32_t core_columns() const {
+    return columns - lead_gaps - tail_gaps;
+  }
+
+  /// Identity over the end-trimmed alignment.
+  double core_identity() const {
+    const std::uint32_t core = core_columns();
+    return core == 0 ? 0.0
+                     : static_cast<double>(matches) / static_cast<double>(core);
+  }
+};
+
+struct AlignScoring {
+  std::int32_t match = 1;
+  std::int32_t mismatch = -2;
+  std::int32_t gap = -3;
+};
+
+/// Globally aligns a vs b within a band of half-width `band` around the skew
+/// diagonal (the band is widened by |len(a) - len(b)| so both corners are
+/// always inside it).
+AlignmentResult banded_global_align(std::string_view a, std::string_view b,
+                                    std::uint32_t band,
+                                    const AlignScoring& scoring = {});
+
+/// DP work units of one call (for virtual-time charging).
+double banded_align_work(std::size_t len_a, std::size_t len_b,
+                         std::uint32_t band);
+
+}  // namespace focus::align

@@ -1,0 +1,35 @@
+#include "align/overlap.hpp"
+
+namespace focus::align {
+
+namespace {
+
+OverlapKind flipped_kind(OverlapKind kind) {
+  switch (kind) {
+    case OverlapKind::kSuffixPrefix:
+      return OverlapKind::kPrefixSuffix;
+    case OverlapKind::kPrefixSuffix:
+      return OverlapKind::kSuffixPrefix;
+    case OverlapKind::kQueryContained:
+      return OverlapKind::kRefContained;
+    case OverlapKind::kRefContained:
+      return OverlapKind::kQueryContained;
+  }
+  return kind;
+}
+
+}  // namespace
+
+Overlap flipped(const Overlap& o) {
+  Overlap out = o;
+  out.query = o.ref;
+  out.ref = o.query;
+  out.kind = flipped_kind(o.kind);
+  return out;
+}
+
+Overlap canonicalized(const Overlap& o) {
+  return o.query <= o.ref ? o : flipped(o);
+}
+
+}  // namespace focus::align

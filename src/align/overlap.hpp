@@ -1,0 +1,44 @@
+// Overlap records: the edges-to-be of the overlap graph (paper §II-B/§II-C).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace focus::align {
+
+/// How two reads overlap, from the perspective of (query, ref).
+enum class OverlapKind : std::uint8_t {
+  /// Suffix of the query aligns the prefix of the ref: directed edge q -> r.
+  kSuffixPrefix = 0,
+  /// Prefix of the query aligns the suffix of the ref: directed edge r -> q.
+  kPrefixSuffix = 1,
+  /// Query is contained within the ref.
+  kQueryContained = 2,
+  /// Ref is contained within the query.
+  kRefContained = 3,
+};
+
+/// A verified overlap between two reads. Trivially copyable by design — the
+/// parallel aligner ships these between ranks as raw byte payloads.
+struct Overlap {
+  ReadId query = kInvalidRead;
+  ReadId ref = kInvalidRead;
+  /// Alignment length in columns (the paper's edge weight).
+  std::uint32_t length = 0;
+  /// Fraction of alignment columns that match.
+  float identity = 0.0f;
+  OverlapKind kind = OverlapKind::kSuffixPrefix;
+};
+
+static_assert(std::is_trivially_copyable_v<Overlap>);
+
+/// The same overlap described from the other read's perspective.
+Overlap flipped(const Overlap& o);
+
+/// Canonical form: query id <= ref id (flipping if needed). Used for
+/// symmetric deduplication.
+Overlap canonicalized(const Overlap& o);
+
+}  // namespace focus::align

@@ -1,0 +1,304 @@
+#include "align/overlapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+#include "align/banded_nw.hpp"
+#include "common/dna.hpp"
+#include "common/error.hpp"
+#include "io/preprocess.hpp"
+
+namespace focus::align {
+
+namespace {
+
+constexpr char kSeparator = '\x01';
+
+// Seed hit of a query k-mer inside one reference read.
+struct SeedHit {
+  std::int64_t diagonal;  // qpos - rpos
+};
+
+}  // namespace
+
+RefIndex::RefIndex(const io::ReadSet& reads, std::vector<ReadId> members)
+    : members_(std::move(members)),
+      starts_(),
+      sa_([&] {
+        std::string text;
+        std::size_t total = 0;
+        for (const ReadId id : members_) total += reads[id].seq.size() + 1;
+        text.reserve(total);
+        starts_.reserve(members_.size());
+        for (const ReadId id : members_) {
+          starts_.push_back(static_cast<std::uint32_t>(text.size()));
+          text += reads[id].seq;
+          text += kSeparator;
+        }
+        return text;
+      }()) {}
+
+std::pair<ReadId, std::uint32_t> RefIndex::resolve(
+    std::uint32_t text_pos) const {
+  FOCUS_ASSERT(!starts_.empty(), "resolve on empty index");
+  const auto it =
+      std::upper_bound(starts_.begin(), starts_.end(), text_pos) - 1;
+  const auto member_idx = static_cast<std::size_t>(it - starts_.begin());
+  return {members_[member_idx], text_pos - *it};
+}
+
+namespace {
+
+// Finds the densest diagonal cluster within `tolerance` and returns its
+// median diagonal, or nullopt if the best cluster is smaller than min_hits.
+std::optional<std::int64_t> consensus_diagonal(std::vector<std::int64_t>& diags,
+                                               std::size_t min_hits,
+                                               std::int64_t tolerance) {
+  if (diags.size() < min_hits) return std::nullopt;
+  std::sort(diags.begin(), diags.end());
+  std::size_t best_begin = 0, best_len = 0;
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < diags.size(); ++hi) {
+    while (diags[hi] - diags[lo] > tolerance) ++lo;
+    if (hi - lo + 1 > best_len) {
+      best_len = hi - lo + 1;
+      best_begin = lo;
+    }
+  }
+  if (best_len < min_hits) return std::nullopt;
+  return diags[best_begin + best_len / 2];
+}
+
+// Classifies and verifies the overlap implied by a diagonal; returns nullopt
+// if the overlap region is too short or fails verification thresholds.
+std::optional<Overlap> verify_overlap(const io::ReadSet& reads, ReadId q,
+                                      ReadId r, std::int64_t diagonal,
+                                      const OverlapperConfig& config,
+                                      double* work) {
+  const std::string& qs = reads[q].seq;
+  const std::string& rs = reads[r].seq;
+  const auto lq = static_cast<std::int64_t>(qs.size());
+  const auto lr = static_cast<std::int64_t>(rs.size());
+
+  // q[i] aligns r[i - diagonal]; compute the implied overlap window.
+  const std::int64_t q_begin = std::max<std::int64_t>(0, diagonal);
+  const std::int64_t q_end = std::min<std::int64_t>(lq, lr + diagonal);
+  if (q_end - q_begin < static_cast<std::int64_t>(config.min_overlap)) {
+    return std::nullopt;
+  }
+  const std::int64_t r_begin = q_begin - diagonal;
+  const std::int64_t r_end = q_end - diagonal;
+  FOCUS_ASSERT(r_begin >= 0 && r_end <= lr, "overlap window out of range");
+
+  const std::string_view qa =
+      std::string_view(qs).substr(static_cast<std::size_t>(q_begin),
+                                  static_cast<std::size_t>(q_end - q_begin));
+  const std::string_view rb =
+      std::string_view(rs).substr(static_cast<std::size_t>(r_begin),
+                                  static_cast<std::size_t>(r_end - r_begin));
+
+  if (work != nullptr) {
+    *work += banded_align_work(qa.size(), rb.size(), config.band);
+  }
+  const AlignmentResult aln = banded_global_align(qa, rb, config.band);
+  if (!aln.valid) return std::nullopt;
+  if (aln.columns < config.min_overlap) return std::nullopt;
+  if (aln.identity() < config.min_identity) return std::nullopt;
+
+  Overlap o;
+  o.query = q;
+  o.ref = r;
+  o.length = aln.columns;
+  o.identity = static_cast<float>(aln.identity());
+
+  const bool covers_q = q_begin == 0 && q_end == lq;
+  const bool covers_r = r_begin == 0 && r_end == lr;
+  if (covers_q && covers_r) {
+    // Equal-extent overlap: call the shorter read contained for determinism.
+    o.kind = lq <= lr ? OverlapKind::kQueryContained
+                      : OverlapKind::kRefContained;
+  } else if (covers_q) {
+    o.kind = OverlapKind::kQueryContained;
+  } else if (covers_r) {
+    o.kind = OverlapKind::kRefContained;
+  } else if (diagonal > 0) {
+    o.kind = OverlapKind::kSuffixPrefix;  // q's suffix meets r's prefix
+  } else {
+    o.kind = OverlapKind::kPrefixSuffix;  // r's suffix meets q's prefix
+  }
+  return o;
+}
+
+}  // namespace
+
+std::vector<Overlap> query_overlaps(const io::ReadSet& reads,
+                                    const RefIndex& index, ReadId query_id,
+                                    const OverlapperConfig& config,
+                                    double* work) {
+  const std::string& qs = reads[query_id].seq;
+  std::vector<Overlap> out;
+  if (qs.size() < config.k) return out;
+
+  // Collect seed diagonals per reference read.
+  std::unordered_map<ReadId, std::vector<std::int64_t>> hits;
+  const double log_n =
+      std::log2(static_cast<double>(index.sa().size()) + 2.0);
+  for (std::size_t qpos = 0; qpos + config.k <= qs.size(); ++qpos) {
+    const std::string_view seed =
+        std::string_view(qs).substr(qpos, config.k);
+    if (!dna::is_clean(seed)) continue;
+    if (work != nullptr) *work += static_cast<double>(config.k) * log_n;
+    const auto [lo, hi] = index.sa().find(seed);
+    const std::size_t occurrences = hi - lo;
+    if (occurrences == 0 || occurrences > config.max_kmer_occurrences) {
+      continue;  // absent, or repeat-masked
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto [ref_id, rpos] = index.resolve(index.sa().at(i));
+      if (ref_id == query_id) continue;
+      hits[ref_id].push_back(static_cast<std::int64_t>(qpos) -
+                             static_cast<std::int64_t>(rpos));
+      if (work != nullptr) *work += 1.0;
+    }
+  }
+
+  // Order candidates by read id for deterministic output.
+  std::vector<ReadId> candidates;
+  candidates.reserve(hits.size());
+  for (const auto& [ref_id, diags] : hits) {
+    if (diags.size() >= config.min_kmer_hits) candidates.push_back(ref_id);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  for (const ReadId ref_id : candidates) {
+    auto& diags = hits[ref_id];
+    const auto diagonal = consensus_diagonal(diags, config.min_kmer_hits,
+                                             config.diagonal_tolerance);
+    if (!diagonal) continue;
+    if (auto o = verify_overlap(reads, query_id, ref_id, *diagonal, config,
+                                work)) {
+      out.push_back(*o);
+    }
+  }
+  return out;
+}
+
+std::vector<Overlap> dedupe_overlaps(std::vector<Overlap> overlaps) {
+  for (auto& o : overlaps) o = canonicalized(o);
+  std::sort(overlaps.begin(), overlaps.end(),
+            [](const Overlap& a, const Overlap& b) {
+              if (a.query != b.query) return a.query < b.query;
+              if (a.ref != b.ref) return a.ref < b.ref;
+              if (a.length != b.length) return a.length > b.length;
+              return a.identity > b.identity;
+            });
+  overlaps.erase(std::unique(overlaps.begin(), overlaps.end(),
+                             [](const Overlap& a, const Overlap& b) {
+                               return a.query == b.query && a.ref == b.ref;
+                             }),
+                 overlaps.end());
+  return overlaps;
+}
+
+namespace {
+
+// Enumerates subset pairs (i, j), i <= j, in deterministic order.
+std::vector<std::pair<std::size_t, std::size_t>> subset_pairs(
+    std::size_t subsets) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(subsets * (subsets + 1) / 2);
+  for (std::size_t i = 0; i < subsets; ++i) {
+    for (std::size_t j = i; j < subsets; ++j) pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+// Processes one subset pair against a prebuilt index of subset j.
+void process_pair(const io::ReadSet& reads,
+                  const std::vector<std::vector<ReadId>>& subsets,
+                  std::size_t i, const RefIndex& index_j,
+                  const OverlapperConfig& config, double* work,
+                  std::vector<Overlap>& out) {
+  for (const ReadId q : subsets[i]) {
+    auto found = query_overlaps(reads, index_j, q, config, work);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+}
+
+}  // namespace
+
+std::vector<Overlap> find_overlaps_serial(const io::ReadSet& reads,
+                                          const OverlapperConfig& config,
+                                          double* work) {
+  FOCUS_CHECK(config.subsets > 0, "subset count must be positive");
+  FOCUS_CHECK(config.k >= 8 && config.k <= 32, "seed k must be in [8, 32]");
+  const auto subsets = io::split_into_subsets(reads.size(), config.subsets);
+
+  std::vector<Overlap> all;
+  for (std::size_t j = 0; j < subsets.size(); ++j) {
+    if (subsets[j].empty()) continue;
+    RefIndex index(reads, subsets[j]);
+    if (work != nullptr) *work += index.build_work();
+    for (std::size_t i = 0; i <= j; ++i) {
+      process_pair(reads, subsets, i, index, config, work, all);
+    }
+  }
+  return dedupe_overlaps(std::move(all));
+}
+
+ParallelOverlapResult find_overlaps_parallel(const io::ReadSet& reads,
+                                             const OverlapperConfig& config,
+                                             int nranks, mpr::CostModel cost) {
+  FOCUS_CHECK(nranks >= 1, "need at least one rank");
+  const auto subsets = io::split_into_subsets(reads.size(), config.subsets);
+  const auto pairs = subset_pairs(config.subsets);
+
+  ParallelOverlapResult result;
+  result.stats = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        // Pairs are grouped by reference subset j so a rank builds each
+        // needed index exactly once.
+        std::vector<Overlap> mine;
+        double work = 0.0;
+        std::size_t pair_idx = 0;
+        for (std::size_t j = 0; j < subsets.size(); ++j) {
+          // Determine whether this rank owns any pair with this reference.
+          std::vector<std::size_t> my_queries;
+          for (std::size_t i = 0; i <= j; ++i, ++pair_idx) {
+            if (static_cast<int>(pair_idx % static_cast<std::size_t>(
+                                     comm.size())) == comm.rank()) {
+              my_queries.push_back(i);
+            }
+          }
+          if (my_queries.empty() || subsets[j].empty()) continue;
+          RefIndex index(reads, subsets[j]);
+          work += index.build_work();
+          for (const std::size_t i : my_queries) {
+            process_pair(reads, subsets, i, index, config, &work, mine);
+          }
+        }
+        comm.charge(work);
+
+        // Gather at rank 0.
+        mpr::Message local;
+        local.pack_vector(mine);
+        auto gathered = comm.gather(std::move(local), 0);
+        if (comm.rank() == 0) {
+          std::vector<Overlap> all;
+          for (auto& msg : gathered) {
+            auto part = msg.unpack_vector<Overlap>();
+            all.insert(all.end(), part.begin(), part.end());
+          }
+          comm.charge(static_cast<double>(all.size()) *
+                      std::log2(static_cast<double>(all.size()) + 2.0));
+          result.overlaps = dedupe_overlaps(std::move(all));
+        }
+      },
+      cost);
+  return result;
+}
+
+}  // namespace focus::align

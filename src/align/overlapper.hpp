@@ -1,0 +1,98 @@
+// Read overlap detection (paper §II-B, "Parallel Read Alignment").
+//
+// The read set is split into subsets; for every ordered-pair-free combination
+// of subsets (i, j), i <= j, the reference subset j is indexed by a suffix
+// array and every query read of subset i is:
+//   1. decomposed into k-mers,
+//   2. matched against the index (reads with >= min_kmer_hits seed hits on a
+//      consistent diagonal become candidates),
+//   3. verified with banded Needleman–Wunsch over the implied overlap region,
+//   4. accepted if the alignment length and identity meet the thresholds,
+//      then classified as suffix/prefix overlap or containment.
+//
+// Subset pairs are independent, which is the parallelism the paper exploits:
+// find_overlaps_parallel() distributes pairs over mpr ranks and gathers the
+// results at rank 0.
+#pragma once
+
+#include <vector>
+
+#include "align/overlap.hpp"
+#include "align/suffix_array.hpp"
+#include "io/read.hpp"
+#include "mpr/runtime.hpp"
+
+namespace focus::align {
+
+struct OverlapperConfig {
+  /// Seed k-mer length.
+  unsigned k = 16;
+  /// Minimum seed hits on a consistent diagonal to trigger verification.
+  std::size_t min_kmer_hits = 3;
+  /// Diagonal clustering tolerance (accounts for small indels).
+  std::int64_t diagonal_tolerance = 3;
+  /// Seeds occurring more often than this in the index are skipped
+  /// (repeat masking).
+  std::size_t max_kmer_occurrences = 64;
+  /// Paper thresholds: minimum overlap length and identity.
+  std::uint32_t min_overlap = 50;
+  double min_identity = 0.90;
+  /// Banded-NW half band width.
+  std::uint32_t band = 8;
+  /// Number of read subsets for pairwise parallel alignment.
+  std::size_t subsets = 4;
+};
+
+/// Suffix-array index over one reference subset. Reads are concatenated with
+/// a '\x01' separator, which cannot occur inside an ACGT seed, so every seed
+/// hit lies within a single read.
+class RefIndex {
+ public:
+  RefIndex(const io::ReadSet& reads, std::vector<ReadId> members);
+
+  const std::vector<ReadId>& members() const { return members_; }
+
+  /// (read-set id, offset within that read) of a text position.
+  std::pair<ReadId, std::uint32_t> resolve(std::uint32_t text_pos) const;
+
+  const SuffixArray& sa() const { return sa_; }
+
+  /// Work units spent building (suffix array + text assembly).
+  double build_work() const { return sa_.build_work(); }
+
+ private:
+  std::vector<ReadId> members_;
+  std::vector<std::uint32_t> starts_;  // text start offset per member
+  SuffixArray sa_;
+};
+
+/// Finds all accepted overlaps of `query` (with set-id `query_id`) against
+/// the indexed reads. Self-matches (query_id == member id) are skipped.
+/// `work` (if non-null) accumulates DP/search work units.
+std::vector<Overlap> query_overlaps(const io::ReadSet& reads,
+                                    const RefIndex& index, ReadId query_id,
+                                    const OverlapperConfig& config,
+                                    double* work = nullptr);
+
+/// All-pairs overlap detection, single-threaded reference implementation.
+std::vector<Overlap> find_overlaps_serial(const io::ReadSet& reads,
+                                          const OverlapperConfig& config,
+                                          double* work = nullptr);
+
+struct ParallelOverlapResult {
+  std::vector<Overlap> overlaps;
+  mpr::RunStats stats;
+};
+
+/// Distributes subset pairs across `nranks` mpr ranks; rank 0 gathers and
+/// deduplicates. Produces the same overlap set as find_overlaps_serial.
+ParallelOverlapResult find_overlaps_parallel(const io::ReadSet& reads,
+                                             const OverlapperConfig& config,
+                                             int nranks,
+                                             mpr::CostModel cost = {});
+
+/// Removes duplicate records of the same read pair, keeping the longest
+/// (then highest-identity) overlap, all in canonical orientation.
+std::vector<Overlap> dedupe_overlaps(std::vector<Overlap> overlaps);
+
+}  // namespace focus::align

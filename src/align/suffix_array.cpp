@@ -1,0 +1,129 @@
+#include "align/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace focus::align {
+
+SuffixArray::SuffixArray(std::string text) : text_(std::move(text)) {
+  const std::size_t n = text_.size();
+  sa_.resize(n);
+  if (n == 0) return;
+  std::iota(sa_.begin(), sa_.end(), 0u);
+
+  // rank[i] = rank of suffix i by its first h characters.
+  std::vector<std::uint32_t> rank(n), tmp(n), count;
+  for (std::size_t i = 0; i < n; ++i) {
+    rank[i] = static_cast<unsigned char>(text_[i]);
+  }
+
+  // Initial sort by first character (counting sort over 256 buckets).
+  {
+    count.assign(257, 0);
+    for (std::size_t i = 0; i < n; ++i) ++count[rank[i] + 1];
+    for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[count[rank[i]]++] = static_cast<std::uint32_t>(i);
+    }
+    sa_.swap(tmp);
+  }
+
+  // Compact initial ranks to [0, n) so counting sorts can use n+1 buckets.
+  std::vector<std::uint32_t> new_rank(n);
+  {
+    new_rank[sa_[0]] = 0;
+    std::uint32_t r = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (text_[sa_[i]] != text_[sa_[i - 1]]) ++r;
+      new_rank[sa_[i]] = r;
+    }
+    rank.swap(new_rank);
+    if (r + 1 == n) return;  // all first characters distinct
+  }
+
+  for (std::size_t h = 1;; h <<= 1) {
+    build_work_ += static_cast<double>(n);
+
+    // Sort by (rank[i], rank[i+h]) using two stable counting-sort passes.
+    // Pass 1: by secondary key. Suffixes with i+h >= n have empty (smallest)
+    // secondary keys and come first.
+    std::size_t fill = 0;
+    for (std::size_t i = n - std::min(h, n); i < n; ++i) {
+      tmp[fill++] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sa_[i] >= h) tmp[fill++] = sa_[i] - static_cast<std::uint32_t>(h);
+    }
+    // Pass 2: stable sort by primary key rank[].
+    count.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++count[rank[i] + 1];
+    for (std::size_t i = 1; i <= n; ++i) count[i] += count[i - 1];
+    for (std::size_t i = 0; i < n; ++i) {
+      sa_[count[rank[tmp[i]]]++] = tmp[i];
+    }
+
+    // Re-rank.
+    new_rank[sa_[0]] = 0;
+    std::uint32_t r = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint32_t a = sa_[i - 1];
+      const std::uint32_t b = sa_[i];
+      const std::uint32_t a2 = (a + h < n) ? rank[a + h] + 1 : 0;
+      const std::uint32_t b2 = (b + h < n) ? rank[b + h] + 1 : 0;
+      if (rank[a] != rank[b] || a2 != b2) ++r;
+      new_rank[b] = r;
+    }
+    rank.swap(new_rank);
+    if (r + 1 == n) break;  // all ranks distinct: fully sorted
+    if (h >= n) break;
+  }
+}
+
+std::pair<std::size_t, std::size_t> SuffixArray::find(
+    std::string_view pattern) const {
+  // Lower bound: first suffix >= pattern.
+  auto suffix_less_than_pattern = [&](std::uint32_t start) {
+    const std::string_view suffix =
+        std::string_view(text_).substr(start);
+    const std::size_t m = std::min(suffix.size(), pattern.size());
+    const int cmp = suffix.substr(0, m).compare(pattern.substr(0, m));
+    if (cmp != 0) return cmp < 0;
+    return suffix.size() < pattern.size();
+  };
+  // Upper bound: first suffix that does not start with pattern and is
+  // greater. Equivalent: first suffix whose prefix compares > pattern.
+  auto pattern_less_than_suffix = [&](std::uint32_t start) {
+    const std::string_view suffix =
+        std::string_view(text_).substr(start);
+    const std::size_t m = std::min(suffix.size(), pattern.size());
+    const int cmp = pattern.substr(0, m).compare(suffix.substr(0, m));
+    if (cmp != 0) return cmp < 0;
+    return false;  // pattern is a prefix of suffix -> still within range
+  };
+
+  const auto lo = std::partition_point(
+      sa_.begin(), sa_.end(),
+      [&](std::uint32_t s) { return suffix_less_than_pattern(s); });
+  const auto hi = std::partition_point(
+      lo, sa_.end(),
+      [&](std::uint32_t s) { return !pattern_less_than_suffix(s); });
+  return {static_cast<std::size_t>(lo - sa_.begin()),
+          static_cast<std::size_t>(hi - sa_.begin())};
+}
+
+std::size_t SuffixArray::count(std::string_view pattern) const {
+  const auto [lo, hi] = find(pattern);
+  return hi - lo;
+}
+
+std::vector<std::uint32_t> SuffixArray::locate(std::string_view pattern) const {
+  const auto [lo, hi] = find(pattern);
+  std::vector<std::uint32_t> out(sa_.begin() + static_cast<std::ptrdiff_t>(lo),
+                                 sa_.begin() + static_cast<std::ptrdiff_t>(hi));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace focus::align

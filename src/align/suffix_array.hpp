@@ -1,0 +1,48 @@
+// Suffix array over a text, with substring search — the index used for k-mer
+// seeding during read overlap detection (paper §II-B: "A reference read
+// subset Rr is indexed by a suffix array Sr").
+//
+// Construction is prefix-doubling with radix (counting) sort per round,
+// O(n log n) — the same complexity class as the Larsson–Sadakane algorithm
+// the paper cites [14].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focus::align {
+
+class SuffixArray {
+ public:
+  /// Builds the suffix array of `text`. The text may contain arbitrary bytes;
+  /// ordering is by unsigned char.
+  explicit SuffixArray(std::string text);
+
+  const std::string& text() const { return text_; }
+  std::size_t size() const { return sa_.size(); }
+
+  /// Suffix start position at suffix-array index i.
+  std::uint32_t at(std::size_t i) const { return sa_[i]; }
+
+  /// Half-open range [lo, hi) of suffix-array indices whose suffixes start
+  /// with `pattern`. Empty pattern matches everything. O(|pattern| log n).
+  std::pair<std::size_t, std::size_t> find(std::string_view pattern) const;
+
+  /// Number of occurrences of `pattern` in the text.
+  std::size_t count(std::string_view pattern) const;
+
+  /// All start positions of `pattern`, in increasing position order.
+  std::vector<std::uint32_t> locate(std::string_view pattern) const;
+
+  /// Approximate work units spent building (for virtual-time charging).
+  double build_work() const { return build_work_; }
+
+ private:
+  std::string text_;
+  std::vector<std::uint32_t> sa_;
+  double build_work_ = 0.0;
+};
+
+}  // namespace focus::align

@@ -1,0 +1,67 @@
+#include "baseline/string_graph_assembler.hpp"
+
+#include <numeric>
+
+#include "core/stats.hpp"
+#include "dist/asm_graph.hpp"
+#include "dist/simplify.hpp"
+#include "dist/traverse.hpp"
+#include "graph/digraph.hpp"
+
+namespace focus::baseline {
+
+StringGraphResult assemble_string_graph(
+    const io::ReadSet& reads, const std::vector<align::Overlap>& overlaps,
+    const StringGraphConfig& config) {
+  StringGraphResult result;
+
+  // Read-level directed graph; containment marks come with it.
+  const graph::Digraph read_graph =
+      graph::build_read_digraph(reads.size(), overlaps);
+  result.work += static_cast<double>(overlaps.size());
+
+  // Materialize as an AsmGraph (one node per read, the read IS its contig)
+  // so the shared reduction/traversal machinery applies.
+  dist::AsmGraph g;
+  for (ReadId r = 0; r < reads.size(); ++r) {
+    g.add_node(reads[r].seq, 1);
+  }
+  for (NodeId v = 0; v < read_graph.node_count(); ++v) {
+    for (const graph::DiEdge& e : read_graph.out_edges(v)) {
+      if (read_graph.is_contained(v) || read_graph.is_contained(e.to)) {
+        continue;  // contained reads add no layout information
+      }
+      g.add_edge(v, e.to, static_cast<std::uint32_t>(e.overlap));
+    }
+  }
+  for (ReadId r = 0; r < reads.size(); ++r) {
+    if (read_graph.is_contained(r)) {
+      g.remove_node(r);
+      ++result.contained_reads;
+    }
+  }
+  result.graph_nodes = g.live_node_count();
+  result.graph_edges = g.live_edge_count();
+
+  // Myers-style transitive reduction over the whole read graph.
+  std::vector<NodeId> all(g.node_count());
+  std::iota(all.begin(), all.end(), 0u);
+  auto transitive = dist::find_transitive_edges(g, all, &result.work);
+  result.transitive_removed = dist::apply_edge_removals(g, std::move(transitive));
+
+  // Unambiguous path compaction = contigs.
+  const auto paths = dist::traverse_serial(g, &result.work);
+  std::vector<std::string> contigs;
+  contigs.reserve(paths.size());
+  for (const auto& path : paths) {
+    contigs.push_back(g.merge_path_contigs(path));
+    result.work += static_cast<double>(contigs.back().size());
+  }
+  result.contigs =
+      config.dedupe
+          ? core::dedupe_contigs(std::move(contigs), config.min_contig_length)
+          : std::move(contigs);
+  return result;
+}
+
+}  // namespace focus::baseline

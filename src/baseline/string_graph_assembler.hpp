@@ -1,0 +1,44 @@
+// Baseline: a serial string-graph assembler (Myers [4], the model most
+// overlap-based assemblers build on and the conceptual baseline the paper's
+// hybrid-graph approach improves upon).
+//
+// Pipeline: directed read overlap graph → drop contained reads → transitive
+// reduction → unambiguous path compaction → contigs. No coarsening, no
+// hybrid graph, no partitioning — every step touches the full read-level
+// graph, which is exactly the cost the Focus design avoids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/overlap.hpp"
+#include "io/read.hpp"
+
+namespace focus::baseline {
+
+struct StringGraphConfig {
+  /// Contigs shorter than this are dropped from the report.
+  std::size_t min_contig_length = 100;
+  /// Collapse reverse-complement contig twins.
+  bool dedupe = true;
+};
+
+struct StringGraphResult {
+  std::vector<std::string> contigs;
+  /// Read-level graph sizes before/after reduction (for reporting).
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+  std::size_t transitive_removed = 0;
+  std::size_t contained_reads = 0;
+  /// Deterministic work units spent (comparable with the Focus pipeline's).
+  double work = 0.0;
+};
+
+/// Assembles preprocessed reads from verified overlaps via the string-graph
+/// route. The overlaps are the same records the Focus pipeline consumes, so
+/// head-to-head comparisons isolate the graph strategy.
+StringGraphResult assemble_string_graph(
+    const io::ReadSet& reads, const std::vector<align::Overlap>& overlaps,
+    const StringGraphConfig& config = {});
+
+}  // namespace focus::baseline

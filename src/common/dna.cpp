@@ -1,0 +1,97 @@
+#include "common/dna.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace focus::dna {
+
+namespace {
+
+constexpr std::array<char, 256> make_complement_table() {
+  std::array<char, 256> t{};
+  for (int i = 0; i < 256; ++i) t[static_cast<std::size_t>(i)] = 'N';
+  t['A'] = 'T'; t['C'] = 'G'; t['G'] = 'C'; t['T'] = 'A';
+  t['a'] = 'T'; t['c'] = 'G'; t['g'] = 'C'; t['t'] = 'A';
+  t['N'] = 'N'; t['n'] = 'N';
+  return t;
+}
+
+constexpr std::array<std::int8_t, 256> make_encode_table() {
+  std::array<std::int8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) t[static_cast<std::size_t>(i)] = -1;
+  t['A'] = 0; t['C'] = 1; t['G'] = 2; t['T'] = 3;
+  return t;
+}
+
+constexpr auto kComplement = make_complement_table();
+constexpr auto kEncode = make_encode_table();
+constexpr char kDecode[4] = {'A', 'C', 'G', 'T'};
+
+}  // namespace
+
+bool is_base(char c) { return kEncode[static_cast<unsigned char>(c)] >= 0; }
+
+char complement(char c) { return kComplement[static_cast<unsigned char>(c)]; }
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out(seq.size(), 'N');
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out[i] = complement(seq[seq.size() - 1 - i]);
+  }
+  return out;
+}
+
+std::string canonicalize(std::string_view seq) {
+  std::string out(seq.size(), 'N');
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    char c = seq[i];
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    out[i] = is_base(c) ? c : 'N';
+  }
+  return out;
+}
+
+bool is_clean(std::string_view seq) {
+  for (char c : seq) {
+    if (!is_base(c)) return false;
+  }
+  return true;
+}
+
+std::uint8_t encode_base(char c) {
+  const auto v = kEncode[static_cast<unsigned char>(c)];
+  FOCUS_ASSERT(v >= 0, "encode_base on non-ACGT character");
+  return static_cast<std::uint8_t>(v);
+}
+
+char decode_base(std::uint8_t code) {
+  FOCUS_ASSERT(code < 4, "decode_base code out of range");
+  return kDecode[code];
+}
+
+bool pack_kmer(std::string_view seq, std::size_t pos, unsigned k,
+               std::uint64_t& out) {
+  FOCUS_ASSERT(k >= 1 && k <= 32, "pack_kmer requires 1 <= k <= 32");
+  if (pos + k > seq.size()) return false;
+  std::uint64_t packed = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto v = kEncode[static_cast<unsigned char>(seq[pos + i])];
+    if (v < 0) return false;
+    packed = (packed << 2) | static_cast<std::uint64_t>(v);
+  }
+  out = packed;
+  return true;
+}
+
+double identity(std::string_view a, std::string_view b) {
+  FOCUS_CHECK(a.size() == b.size(), "identity requires equal-length sequences");
+  if (a.empty()) return 1.0;
+  std::size_t match = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(a.size());
+}
+
+}  // namespace focus::dna

@@ -1,0 +1,40 @@
+// DNA sequence primitives: validation, complementation, 2-bit packing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace focus::dna {
+
+/// True iff c is one of A, C, G, T (upper case).
+bool is_base(char c);
+
+/// Complement of a single base; 'N' (or anything unrecognized) maps to 'N'.
+char complement(char c);
+
+/// Reverse complement of a sequence. Unknown characters become 'N'.
+std::string reverse_complement(std::string_view seq);
+
+/// Uppercases a sequence and replaces any non-ACGT character with 'N'.
+std::string canonicalize(std::string_view seq);
+
+/// True iff every character of seq is A, C, G, or T.
+bool is_clean(std::string_view seq);
+
+/// 2-bit encoding A=0, C=1, G=2, T=3. Precondition: is_base(c).
+std::uint8_t encode_base(char c);
+
+/// Inverse of encode_base.
+char decode_base(std::uint8_t code);
+
+/// Packs the k-mer starting at seq[pos] into the low 2k bits (k <= 32).
+/// Returns false if any base in the window is not ACGT.
+bool pack_kmer(std::string_view seq, std::size_t pos, unsigned k,
+               std::uint64_t& out);
+
+/// Fraction of positions at which a and b agree; sequences must be equal
+/// length. Returns 1.0 for two empty sequences.
+double identity(std::string_view a, std::string_view b);
+
+}  // namespace focus::dna

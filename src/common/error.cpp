@@ -1,0 +1,21 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace focus::detail {
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [" << file << ':' << line << ']';
+  throw Error(os.str());
+}
+
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") " << msg << " [" << file
+     << ':' << line << ']';
+  throw std::logic_error(os.str());
+}
+
+}  // namespace focus::detail

@@ -1,0 +1,42 @@
+// Error handling: a library-wide exception type plus CHECK-style macros.
+//
+// Library code throws focus::Error for recoverable input problems (malformed
+// FASTQ, inconsistent configuration). FOCUS_ASSERT guards internal invariants
+// and is kept enabled in all build types: assembly-graph corruption must fail
+// loudly, never silently produce wrong contigs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace focus {
+
+/// Exception thrown on invalid input or configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace focus
+
+/// Throw focus::Error with file/line context.
+#define FOCUS_THROW(msg) ::focus::detail::throw_error(__FILE__, __LINE__, (msg))
+
+/// Validate user-facing preconditions; throws focus::Error on failure.
+#define FOCUS_CHECK(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) ::focus::detail::throw_error(__FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Internal invariant check, enabled in every build type.
+#define FOCUS_ASSERT(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::focus::detail::assert_fail(__FILE__, __LINE__, #cond, (msg));       \
+  } while (false)

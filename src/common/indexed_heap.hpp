@@ -1,0 +1,156 @@
+// IndexedMaxHeap: a binary max-heap over dense integer keys with
+// update-priority and remove-by-key, the workhorse behind every gain priority
+// queue in the partitioner (greedy graph growing, Kernighan–Lin bisection,
+// global k-way refinement).
+//
+// All operations are O(log n); contains()/priority() are O(1). Keys are dense
+// indices in [0, capacity). Ties are broken by key for determinism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace focus {
+
+template <typename Priority>
+class IndexedMaxHeap {
+ public:
+  using Key = std::uint32_t;
+
+  explicit IndexedMaxHeap(std::size_t capacity = 0) { reset(capacity); }
+
+  /// Clears the heap and resizes the key universe.
+  void reset(std::size_t capacity) {
+    heap_.clear();
+    pos_.assign(capacity, kAbsent);
+    prio_.assign(capacity, Priority{});
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t capacity() const { return pos_.size(); }
+
+  bool contains(Key k) const {
+    return k < pos_.size() && pos_[k] != kAbsent;
+  }
+
+  /// Priority of a contained key.
+  Priority priority(Key k) const {
+    FOCUS_ASSERT(contains(k), "priority() on absent key");
+    return prio_[k];
+  }
+
+  /// Inserts key k (must be absent) with priority p.
+  void push(Key k, Priority p) {
+    FOCUS_ASSERT(k < pos_.size(), "heap key out of range");
+    FOCUS_ASSERT(!contains(k), "push of key already in heap");
+    prio_[k] = p;
+    pos_[k] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(k);
+    sift_up(pos_[k]);
+  }
+
+  /// Inserts k or updates its priority if already present.
+  void push_or_update(Key k, Priority p) {
+    if (contains(k)) {
+      update(k, p);
+    } else {
+      push(k, p);
+    }
+  }
+
+  /// Changes the priority of a contained key.
+  void update(Key k, Priority p) {
+    FOCUS_ASSERT(contains(k), "update() on absent key");
+    const Priority old = prio_[k];
+    prio_[k] = p;
+    if (less(k, p, k, old)) {
+      sift_down(pos_[k]);
+    } else {
+      sift_up(pos_[k]);
+    }
+  }
+
+  /// Key with the maximum priority (ties: smallest key).
+  Key top() const {
+    FOCUS_ASSERT(!empty(), "top() on empty heap");
+    return heap_[0];
+  }
+
+  Priority top_priority() const { return prio_[top()]; }
+
+  /// Removes and returns the max-priority key.
+  Key pop() {
+    const Key k = top();
+    erase(k);
+    return k;
+  }
+
+  /// Removes key k from the heap.
+  void erase(Key k) {
+    FOCUS_ASSERT(contains(k), "erase() on absent key");
+    const std::uint32_t i = pos_[k];
+    const Key last = heap_.back();
+    heap_.pop_back();
+    pos_[k] = kAbsent;
+    if (last == k) return;
+    heap_[i] = last;
+    pos_[last] = i;
+    // Re-establish heap order for the displaced element.
+    if (i > 0 && higher(heap_[i], heap_[parent(i)])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  static std::uint32_t parent(std::uint32_t i) { return (i - 1) / 2; }
+
+  // Strict "a outranks b" with deterministic key tiebreak.
+  bool less(Key ka, const Priority& pa, Key kb, const Priority& pb) const {
+    if (pa != pb) return pa < pb;
+    return ka > kb;
+  }
+
+  bool higher(Key a, Key b) const { return less(b, prio_[b], a, prio_[a]); }
+
+  void sift_up(std::uint32_t i) {
+    while (i > 0) {
+      const std::uint32_t p = parent(i);
+      if (!higher(heap_[i], heap_[p])) break;
+      swap_at(i, p);
+      i = p;
+    }
+  }
+
+  void sift_down(std::uint32_t i) {
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      std::uint32_t best = i;
+      const std::uint32_t l = 2 * i + 1;
+      const std::uint32_t r = 2 * i + 2;
+      if (l < n && higher(heap_[l], heap_[best])) best = l;
+      if (r < n && higher(heap_[r], heap_[best])) best = r;
+      if (best == i) break;
+      swap_at(i, best);
+      i = best;
+    }
+  }
+
+  void swap_at(std::uint32_t i, std::uint32_t j) {
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i]] = i;
+    pos_[heap_[j]] = j;
+  }
+
+  std::vector<Key> heap_;        // heap order -> key
+  std::vector<std::uint32_t> pos_;  // key -> heap position (kAbsent if out)
+  std::vector<Priority> prio_;   // key -> priority
+};
+
+}  // namespace focus

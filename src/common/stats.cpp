@@ -1,0 +1,60 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace focus {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+std::uint64_t nx(std::vector<std::uint64_t> lengths, double fraction) {
+  FOCUS_CHECK(fraction > 0.0 && fraction <= 1.0,
+              "nx fraction must be in (0, 1]");
+  if (lengths.empty()) return 0;
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  const auto total = std::accumulate(lengths.begin(), lengths.end(),
+                                     std::uint64_t{0});
+  const double target = fraction * static_cast<double>(total);
+  std::uint64_t acc = 0;
+  for (const auto len : lengths) {
+    acc += len;
+    if (static_cast<double>(acc) >= target) return len;
+  }
+  return lengths.back();
+}
+
+std::uint64_t n50(const std::vector<std::uint64_t>& lengths) {
+  return nx(lengths, 0.5);
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  FOCUS_CHECK(a.size() == b.size(), "pearson requires equal-length samples");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace focus

@@ -1,0 +1,27 @@
+// Small descriptive-statistics helpers used by the benchmark harness and the
+// assembly-statistics reporters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace focus {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(const std::vector<double>& xs);
+
+/// Nx statistic over a set of lengths: the largest L such that elements of
+/// length >= L sum to at least `fraction` of the total. N50 = nx(lens, 0.50).
+/// Returns 0 for an empty set.
+std::uint64_t nx(std::vector<std::uint64_t> lengths, double fraction);
+
+/// Convenience wrapper: N50 of a set of lengths.
+std::uint64_t n50(const std::vector<std::uint64_t>& lengths);
+
+/// Pearson correlation of two equal-length samples; 0 if either is constant.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace focus

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used alongside the virtual-time cost model.
+#pragma once
+
+#include <chrono>
+
+namespace focus {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace focus

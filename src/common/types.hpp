@@ -1,0 +1,30 @@
+// Core scalar type aliases shared across the Focus library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace focus {
+
+/// Identifier of a read within a ReadSet (dense, 0-based).
+using ReadId = std::uint32_t;
+
+/// Identifier of a node within a graph level (dense, 0-based).
+using NodeId = std::uint32_t;
+
+/// Identifier of a graph partition (0-based; -1 = unassigned).
+using PartId = std::int32_t;
+
+/// Rank of a worker in the message-passing runtime.
+using Rank = int;
+
+/// Edge/node weights. Edge weights are alignment lengths (bp); node weights
+/// are read-cluster sizes. 64-bit so that sums over whole graphs cannot
+/// overflow.
+using Weight = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr ReadId kInvalidRead = std::numeric_limits<ReadId>::max();
+inline constexpr PartId kNoPart = -1;
+
+}  // namespace focus

@@ -1,0 +1,177 @@
+#include "core/assembler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace focus::core {
+
+double AssemblyResult::total_vtime() const {
+  double total = 0.0;
+  for (const auto& [stage, timing] : timings) total += timing.vtime;
+  return total;
+}
+
+FocusAssembler::FocusAssembler(FocusConfig config)
+    : config_(std::move(config)) {
+  FOCUS_CHECK(config_.partitions >= 1 &&
+                  (config_.partitions & (config_.partitions - 1)) == 0,
+              "partition count must be a power of two");
+  FOCUS_CHECK(config_.ranks >= 1, "need at least one rank");
+}
+
+AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
+  AssemblyResult result;
+  Timer wall;
+
+  // --- Stage 1: preprocessing (§II-A), parallel over read chunks. ---------
+  {
+    auto preprocessed = io::preprocess_parallel(
+        raw_reads, config_.preprocess, config_.ranks, config_.cost);
+    result.reads = std::move(preprocessed.reads);
+    result.preprocess_stats = preprocessed.stats;
+    FOCUS_CHECK(!result.reads.empty(),
+                "no reads survive preprocessing; relax the trimming thresholds");
+    StageTiming t;
+    t.wall = wall.seconds();
+    t.vtime = preprocessed.run.makespan;
+    result.timings["1-preprocess"] = t;
+  }
+
+  // --- Stage 2: parallel read alignment (§II-B). --------------------------
+  wall.restart();
+  {
+    auto aligned = align::find_overlaps_parallel(result.reads, config_.overlap,
+                                                 config_.ranks, config_.cost);
+    result.overlaps = std::move(aligned.overlaps);
+    StageTiming t;
+    t.wall = wall.seconds();
+    t.vtime = aligned.stats.makespan;
+    result.timings["2-align"] = t;
+  }
+
+  // --- Stage 3: overlap graph + multilevel graph set (§II-C). -------------
+  wall.restart();
+  result.overlap_graph =
+      graph::build_overlap_graph(result.reads.size(), result.overlaps);
+  result.multilevel =
+      graph::build_multilevel(result.overlap_graph, config_.coarsen);
+  {
+    StageTiming t;
+    t.wall = wall.seconds();
+    double edges = 0.0;
+    for (const auto& level : result.multilevel.levels) {
+      edges += static_cast<double>(level.edge_count());
+    }
+    t.vtime = config_.cost.compute_cost(edges);
+    result.timings["3-coarsen"] = t;
+  }
+
+  // --- Stage 4: hybrid graph set (§II-D). ----------------------------------
+  wall.restart();
+  graph::Digraph read_graph =
+      graph::build_read_digraph(result.reads.size(), result.overlaps);
+  {
+    std::vector<std::uint32_t> lengths;
+    lengths.reserve(result.reads.size());
+    for (const auto& r : result.reads) {
+      lengths.push_back(static_cast<std::uint32_t>(r.seq.size()));
+    }
+    result.hybrid =
+        graph::build_hybrid(result.multilevel, read_graph, std::move(lengths));
+    StageTiming t;
+    t.wall = wall.seconds();
+    t.vtime = config_.cost.compute_cost(result.hybrid.selection_work);
+    result.timings["4-hybrid"] = t;
+  }
+
+  // --- Stage 5: graph partitioning (§IV). ----------------------------------
+  wall.restart();
+  const graph::GraphHierarchy& hierarchy = config_.use_hybrid_partitioning
+                                               ? result.hybrid.hierarchy
+                                               : result.multilevel;
+  {
+    auto parted = partition::partition_hierarchy_parallel(
+        hierarchy, config_.partitions, config_.partitioner, config_.ranks,
+        config_.cost);
+    result.partitioning = std::move(parted.partitioning);
+    StageTiming t;
+    t.wall = wall.seconds();
+    t.vtime = parted.stats.makespan;
+    result.timings["5-partition"] = t;
+  }
+
+  // Per-read partition: project through the hybrid clusters, or use the
+  // multilevel finest level (== reads) directly.
+  if (config_.use_hybrid_partitioning) {
+    result.read_partition = result.hybrid.project_to_reads(
+        result.partitioning.finest(), result.reads.size());
+  } else {
+    result.read_partition = result.partitioning.finest();
+  }
+
+  // --- Stage 6: assembly graph + distributed simplification (§V-A/B/C). ---
+  wall.restart();
+  AsmBuildResult built =
+      build_assembly_graph(result.hybrid, read_graph, result.reads);
+  // Partition of each assembly node: hybrid partition if partitioning the
+  // hybrid set; majority over cluster reads otherwise.
+  std::vector<PartId> node_part(built.graph.node_count(), 0);
+  if (config_.use_hybrid_partitioning) {
+    node_part = result.partitioning.finest();
+  } else {
+    for (NodeId h = 0; h < result.hybrid.cluster_reads.size(); ++h) {
+      std::map<PartId, std::size_t> votes;
+      for (const NodeId read : result.hybrid.cluster_reads[h]) {
+        ++votes[result.read_partition[read]];
+      }
+      node_part[h] = std::max_element(votes.begin(), votes.end(),
+                                      [](const auto& a, const auto& b) {
+                                        return a.second < b.second;
+                                      })
+                         ->first;
+    }
+  }
+  {
+    auto simplified = dist::simplify_parallel(
+        built.graph, node_part, config_.partitions, config_.simplify,
+        config_.ranks, config_.cost);
+    result.simplify_stats = simplified.stats;
+    StageTiming t;
+    t.wall = wall.seconds();
+    t.vtime = simplified.run.makespan;
+    result.timings["6-simplify"] = t;
+  }
+
+  // --- Stage 7: distributed traversal + contig construction (§V-D). -------
+  wall.restart();
+  {
+    auto traversed = dist::traverse_parallel(
+        built.graph, node_part, config_.partitions, config_.ranks,
+        config_.cost);
+    result.paths = std::move(traversed.paths);
+    std::vector<std::string> contigs;
+    contigs.reserve(result.paths.size());
+    for (const auto& path : result.paths) {
+      contigs.push_back(built.graph.merge_path_contigs(path));
+    }
+    result.contigs =
+        dedupe_contigs(std::move(contigs), config_.min_contig_length);
+    result.stats = assembly_stats(result.contigs);
+    StageTiming t;
+    t.wall = wall.seconds();
+    t.vtime = traversed.run.makespan;
+    result.timings["7-traverse"] = t;
+  }
+  result.assembly_graph = std::move(built.graph);
+
+  return result;
+}
+
+AssemblyResult assemble_reads(const io::ReadSet& raw_reads,
+                              const FocusConfig& config) {
+  return FocusAssembler(config).assemble(raw_reads);
+}
+
+}  // namespace focus::core

@@ -1,0 +1,55 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+
+namespace focus::core {
+
+KmerClassifier::KmerClassifier(const sim::Community& community, unsigned k)
+    : k_(k), genus_count_(community.size()) {
+  FOCUS_CHECK(k >= 11 && k <= 32, "classifier k must be in [11, 32]");
+  auto index_sequence = [&](const std::string& seq, std::uint32_t genus) {
+    for (std::size_t pos = 0; pos + k_ <= seq.size(); ++pos) {
+      std::uint64_t kmer = 0;
+      if (!dna::pack_kmer(seq, pos, k_, kmer)) continue;
+      auto [it, inserted] = index_.try_emplace(kmer, genus);
+      if (!inserted && it->second != genus) it->second = kAmbiguous;
+    }
+  };
+  for (std::uint32_t g = 0; g < community.size(); ++g) {
+    index_sequence(community.genera[g].genome, g);
+    index_sequence(dna::reverse_complement(community.genera[g].genome), g);
+  }
+}
+
+std::uint32_t KmerClassifier::classify(const std::string& seq) const {
+  std::vector<std::uint32_t> votes(genus_count_, 0);
+  for (std::size_t pos = 0; pos + k_ <= seq.size(); ++pos) {
+    std::uint64_t kmer = 0;
+    if (!dna::pack_kmer(seq, pos, k_, kmer)) continue;
+    const auto it = index_.find(kmer);
+    if (it == index_.end() || it->second == kAmbiguous) continue;
+    ++votes[it->second];
+  }
+  std::uint32_t best = kUnclassified;
+  std::uint32_t best_votes = 0;
+  for (std::uint32_t g = 0; g < votes.size(); ++g) {
+    if (votes[g] > best_votes) {
+      best = g;
+      best_votes = votes[g];
+    }
+  }
+  return best_votes == 0 ? kUnclassified : best;
+}
+
+std::vector<std::uint32_t> KmerClassifier::classify_reads(
+    const io::ReadSet& reads) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(reads.size());
+  for (const auto& read : reads) out.push_back(classify(read.seq));
+  return out;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,43 @@
+// k-mer voting read classifier — the stand-in for the paper's BWA-against-
+// reference-database read classification (§VI-E). Each reference genome's
+// k-mers (both strands) vote for their genus; a read is assigned the genus
+// with the most k-mer votes, or left unclassified when nothing matches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/read.hpp"
+#include "sim/community.hpp"
+
+namespace focus::core {
+
+inline constexpr std::uint32_t kUnclassified = 0xffffffffu;
+
+class KmerClassifier {
+ public:
+  /// Indexes every genus genome of the community (forward and reverse
+  /// strands) with k-mers of length k.
+  KmerClassifier(const sim::Community& community, unsigned k = 21);
+
+  /// Genus index with the most k-mer votes, or kUnclassified.
+  std::uint32_t classify(const std::string& seq) const;
+
+  /// Classifies every read of a set.
+  std::vector<std::uint32_t> classify_reads(const io::ReadSet& reads) const;
+
+  unsigned k() const { return k_; }
+  std::size_t index_size() const { return index_.size(); }
+
+ private:
+  static constexpr std::uint32_t kAmbiguous = 0xfffffffeu;
+
+  unsigned k_;
+  std::size_t genus_count_;
+  /// kmer -> genus index, or kAmbiguous when shared across genera.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+};
+
+}  // namespace focus::core

@@ -1,0 +1,99 @@
+#include "core/community.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "core/classify.hpp"
+
+namespace focus::core {
+
+GenusPartitionMatrix genus_partition_distribution(
+    const std::vector<std::uint32_t>& genus_of_read,
+    const std::vector<PartId>& partition_of_read,
+    const std::vector<std::string>& genus_names, PartId partitions) {
+  FOCUS_CHECK(genus_of_read.size() == partition_of_read.size(),
+              "genus/partition vectors must be parallel");
+  FOCUS_CHECK(partitions >= 1, "need at least one partition");
+
+  GenusPartitionMatrix m;
+  m.genus_names = genus_names;
+  m.partitions = partitions;
+  m.fraction.assign(genus_names.size(),
+                    std::vector<double>(static_cast<std::size_t>(partitions), 0.0));
+  m.classified_reads.assign(genus_names.size(), 0);
+
+  for (std::size_t i = 0; i < genus_of_read.size(); ++i) {
+    const std::uint32_t g = genus_of_read[i];
+    const PartId p = partition_of_read[i];
+    if (g == kUnclassified || g >= genus_names.size()) continue;
+    if (p == kNoPart || p >= partitions) continue;
+    m.fraction[g][static_cast<std::size_t>(p)] += 1.0;
+    ++m.classified_reads[g];
+  }
+  for (std::size_t g = 0; g < genus_names.size(); ++g) {
+    if (m.classified_reads[g] == 0) continue;
+    for (auto& f : m.fraction[g]) {
+      f /= static_cast<double>(m.classified_reads[g]);
+    }
+  }
+  return m;
+}
+
+std::string render_heatmap(const GenusPartitionMatrix& matrix) {
+  static constexpr char kShades[] = {' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'};
+  std::size_t name_width = 0;
+  for (const auto& n : matrix.genus_names) {
+    name_width = std::max(name_width, n.size());
+  }
+  std::string out;
+  out += std::string(name_width + 2, ' ');
+  for (PartId p = 0; p < matrix.partitions; ++p) {
+    out += 'P';
+    out += std::to_string(p % 10);
+    out += ' ';
+  }
+  out += '\n';
+  for (std::size_t g = 0; g < matrix.genus_names.size(); ++g) {
+    out += matrix.genus_names[g];
+    out += std::string(name_width + 2 - matrix.genus_names[g].size(), ' ');
+    for (const double f : matrix.fraction[g]) {
+      const auto shade = static_cast<std::size_t>(
+          std::min(9.0, std::max(0.0, f * 20.0)));  // 0.45+ saturates
+      out += kShades[shade];
+      out += kShades[shade];
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<double> concentration(const GenusPartitionMatrix& matrix) {
+  std::vector<double> out;
+  out.reserve(matrix.genus_names.size());
+  for (const auto& row : matrix.fraction) {
+    out.push_back(row.empty() ? 0.0
+                              : *std::max_element(row.begin(), row.end()));
+  }
+  return out;
+}
+
+PhylumCoclustering phylum_coclustering(
+    const GenusPartitionMatrix& matrix,
+    const std::vector<std::string>& genus_phylum) {
+  FOCUS_CHECK(genus_phylum.size() == matrix.genus_names.size(),
+              "phylum table must parallel genus rows");
+  std::vector<double> within, between;
+  for (std::size_t a = 0; a < matrix.fraction.size(); ++a) {
+    if (matrix.classified_reads[a] == 0) continue;
+    for (std::size_t b = a + 1; b < matrix.fraction.size(); ++b) {
+      if (matrix.classified_reads[b] == 0) continue;
+      const double r = pearson(matrix.fraction[a], matrix.fraction[b]);
+      (genus_phylum[a] == genus_phylum[b] ? within : between).push_back(r);
+    }
+  }
+  return PhylumCoclustering{mean(within), mean(between)};
+}
+
+}  // namespace focus::core

@@ -1,0 +1,53 @@
+// Community-structure analysis of graph partitionings (paper §VI-E, Fig. 7).
+//
+// For each genus, the fraction of its classified reads landing in each graph
+// partition is computed; the paper's observation is that the distribution is
+// far from uniform — a genus concentrates in few partitions, and genera of
+// the same phylum co-locate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace focus::core {
+
+struct GenusPartitionMatrix {
+  std::vector<std::string> genus_names;          // rows
+  /// fraction[g][p]: share of genus g's classified reads in partition p.
+  std::vector<std::vector<double>> fraction;
+  /// Total classified reads per genus.
+  std::vector<std::size_t> classified_reads;
+  PartId partitions = 0;
+};
+
+/// Builds the genus × partition fraction matrix. `genus_of_read[i]` is the
+/// genus index of read i (kUnclassified entries are skipped);
+/// `partition_of_read[i]` its partition (kNoPart entries are skipped).
+GenusPartitionMatrix genus_partition_distribution(
+    const std::vector<std::uint32_t>& genus_of_read,
+    const std::vector<PartId>& partition_of_read,
+    const std::vector<std::string>& genus_names, PartId partitions);
+
+/// ASCII heat map (rows = genera, columns = partitions, shading by
+/// fraction), the textual analogue of the paper's Fig. 7 panels.
+std::string render_heatmap(const GenusPartitionMatrix& matrix);
+
+/// Concentration of a genus's reads: max partition fraction (1/k means
+/// uniform, 1.0 means fully concentrated).
+std::vector<double> concentration(const GenusPartitionMatrix& matrix);
+
+/// Mean Pearson correlation between partition distributions of genus pairs
+/// within the same phylum vs in different phyla. The paper's Fig. 7
+/// observation holds when within > between.
+struct PhylumCoclustering {
+  double within_phylum = 0.0;
+  double between_phyla = 0.0;
+};
+PhylumCoclustering phylum_coclustering(
+    const GenusPartitionMatrix& matrix,
+    const std::vector<std::string>& genus_phylum);
+
+}  // namespace focus::core

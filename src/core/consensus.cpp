@@ -1,0 +1,114 @@
+#include "core/consensus.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+
+namespace focus::core {
+
+namespace {
+
+// Vote weight of a base call: its Phred score, or a moderate default when
+// the read carries no qualities (FASTA input).
+double call_weight(const io::Read& read, std::size_t pos) {
+  if (read.qual.size() == read.seq.size()) {
+    return static_cast<double>(read.qual[pos] - '!');
+  }
+  return 20.0;
+}
+
+// Offsets of each layout read within the contig coordinate system, using
+// the same arithmetic as the chain merge in asm_build: the next read starts
+// `overlap` bases before the current contig end, clamped at 0, and the
+// contig never shrinks (an overlap longer than the read leaves the end
+// unchanged).
+std::vector<std::int64_t> layout_offsets(
+    const io::ReadSet& reads, std::span<const graph::LayoutStep> layout) {
+  std::vector<std::int64_t> offsets(layout.size());
+  std::int64_t contig_len = 0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    const auto len =
+        static_cast<std::int64_t>(reads[layout[i].read].seq.size());
+    if (i == 0) {
+      offsets[i] = 0;
+      contig_len = len;
+    } else {
+      const auto ov =
+          static_cast<std::int64_t>(layout[i - 1].overlap_to_next);
+      offsets[i] = std::max<std::int64_t>(0, contig_len - ov);
+      contig_len = std::max(contig_len, offsets[i] + len);
+    }
+  }
+  return offsets;
+}
+
+}  // namespace
+
+ConsensusResult consensus_from_layout(
+    const io::ReadSet& reads, std::span<const graph::LayoutStep> layout) {
+  FOCUS_CHECK(!layout.empty(), "consensus needs a non-empty layout");
+
+  const auto offsets = layout_offsets(reads, layout);
+  std::int64_t contig_len = 0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    contig_len = std::max(
+        contig_len,
+        offsets[i] + static_cast<std::int64_t>(reads[layout[i].read].length()));
+  }
+
+  ConsensusResult result;
+  result.sequence.assign(static_cast<std::size_t>(contig_len), 'N');
+  result.depth.assign(static_cast<std::size_t>(contig_len), 0);
+
+  // Per-column weighted votes for A/C/G/T. Layouts are chains of reads, so a
+  // column is covered by few reads; a dense column sweep with small fixed
+  // vote arrays keeps this linear in total bases.
+  std::vector<std::array<double, 4>> votes(
+      static_cast<std::size_t>(contig_len), {0.0, 0.0, 0.0, 0.0});
+
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    const io::Read& read = reads[layout[i].read];
+    for (std::size_t p = 0; p < read.seq.size(); ++p) {
+      const char base = read.seq[p];
+      if (!dna::is_base(base)) continue;  // N never votes
+      const auto col = static_cast<std::size_t>(
+          offsets[i] + static_cast<std::int64_t>(p));
+      votes[col][dna::encode_base(base)] += call_weight(read, p);
+      if (result.depth[col] < 0xffff) ++result.depth[col];
+    }
+  }
+
+  std::uint64_t depth_total = 0;
+  for (std::size_t col = 0; col < votes.size(); ++col) {
+    depth_total += result.depth[col];
+    const auto& v = votes[col];
+    int best = 0;
+    int voters = 0;
+    for (int b = 0; b < 4; ++b) {
+      if (v[b] > 0.0) ++voters;
+      if (v[b] > v[best]) best = b;
+    }
+    if (v[best] > 0.0) {
+      result.sequence[col] = dna::decode_base(static_cast<std::uint8_t>(best));
+      if (voters > 1) ++result.corrected_columns;
+    }
+  }
+  result.mean_depth = votes.empty()
+                          ? 0.0
+                          : static_cast<double>(depth_total) /
+                                static_cast<double>(votes.size());
+  return result;
+}
+
+double consensus_work(const io::ReadSet& reads,
+                      std::span<const graph::LayoutStep> layout) {
+  double bases = 0.0;
+  for (const auto& step : layout) {
+    bases += static_cast<double>(reads[step.read].seq.size());
+  }
+  return bases;
+}
+
+}  // namespace focus::core

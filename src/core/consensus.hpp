@@ -1,0 +1,38 @@
+// Quality-weighted consensus calling — the "consensus" of
+// overlap-layout-consensus. A cluster's layout places each read at an offset
+// within the contig; every column is called by weighted vote of the reads
+// covering it, with Phred qualities as weights. This corrects isolated
+// sequencing errors that a first-read-wins merge would bake into the contig.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/contiguity.hpp"
+#include "io/read.hpp"
+
+namespace focus::core {
+
+struct ConsensusResult {
+  std::string sequence;
+  /// Number of reads covering each consensus column.
+  std::vector<std::uint16_t> depth;
+  double mean_depth = 0.0;
+  /// Columns where the vote was not unanimous (error-corrected sites).
+  std::size_t corrected_columns = 0;
+};
+
+/// Calls the consensus of a cluster layout (reads chained by overlap
+/// lengths, as produced by the contiguity tester). Reads without quality
+/// strings vote with a fixed moderate weight. The layout must be non-empty.
+ConsensusResult consensus_from_layout(
+    const io::ReadSet& reads, std::span<const graph::LayoutStep> layout);
+
+/// Work units of a consensus call (for virtual-time accounting): roughly the
+/// total bases voted.
+double consensus_work(const io::ReadSet& reads,
+                      std::span<const graph::LayoutStep> layout);
+
+}  // namespace focus::core

@@ -1,0 +1,47 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/dna.hpp"
+#include "common/stats.hpp"
+
+namespace focus::core {
+
+AssemblyStats assembly_stats(const std::vector<std::string>& contigs) {
+  AssemblyStats s;
+  s.contig_count = contigs.size();
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(contigs.size());
+  for (const auto& c : contigs) {
+    lengths.push_back(c.size());
+    s.total_bases += c.size();
+    s.max_contig = std::max<std::uint64_t>(s.max_contig, c.size());
+  }
+  s.n50 = n50(lengths);
+  s.mean_length = contigs.empty()
+                      ? 0.0
+                      : static_cast<double>(s.total_bases) /
+                            static_cast<double>(contigs.size());
+  return s;
+}
+
+std::vector<std::string> dedupe_contigs(std::vector<std::string> contigs,
+                                        std::size_t min_length) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (auto& c : contigs) {
+    if (c.size() < min_length) continue;
+    std::string canonical = std::min(c, dna::reverse_complement(c));
+    if (seen.insert(std::move(canonical)).second) {
+      out.push_back(std::move(c));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace focus::core

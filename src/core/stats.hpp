@@ -1,0 +1,28 @@
+// Assembly statistics (paper Table III: N50, max contig, number of contigs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace focus::core {
+
+struct AssemblyStats {
+  std::size_t contig_count = 0;
+  std::uint64_t total_bases = 0;
+  std::uint64_t n50 = 0;
+  std::uint64_t max_contig = 0;
+  double mean_length = 0.0;
+};
+
+/// Computes statistics over contig sequences.
+AssemblyStats assembly_stats(const std::vector<std::string>& contigs);
+
+/// Collapses reverse-complement twins (every contig is assembled once per
+/// strand because preprocessing adds reverse complements of all reads) and
+/// drops contigs shorter than `min_length`. Output sorted by length
+/// descending, ties lexicographic, for deterministic reporting.
+std::vector<std::string> dedupe_contigs(std::vector<std::string> contigs,
+                                        std::size_t min_length);
+
+}  // namespace focus::core

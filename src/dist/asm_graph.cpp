@@ -1,0 +1,110 @@
+#include "dist/asm_graph.hpp"
+
+namespace focus::dist {
+
+NodeId AsmGraph::add_node(std::string contig, Weight reads) {
+  FOCUS_CHECK(!contig.empty(), "assembly node needs a contig sequence");
+  FOCUS_CHECK(reads >= 1, "assembly node needs at least one read");
+  nodes_.push_back(AsmNode{std::move(contig), reads, false});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId AsmGraph::add_edge(NodeId from, NodeId to,
+                          std::uint32_t overlap_estimate) {
+  FOCUS_CHECK(from < nodes_.size(), "assembly edge endpoint out of range");
+  const auto len = static_cast<std::uint32_t>(nodes_[from].contig.size());
+  const std::uint32_t offset =
+      overlap_estimate < len ? len - overlap_estimate : 0;
+  return add_edge(from, to, overlap_estimate, offset);
+}
+
+EdgeId AsmGraph::add_edge(NodeId from, NodeId to,
+                          std::uint32_t overlap_estimate,
+                          std::uint32_t offset_estimate) {
+  FOCUS_CHECK(from < nodes_.size() && to < nodes_.size(),
+              "assembly edge endpoint out of range");
+  FOCUS_CHECK(from != to, "assembly self-loops are not allowed");
+  FOCUS_CHECK(offset_estimate < nodes_[from].contig.size(),
+              "edge offset beyond the source contig");
+  edges_.push_back(
+      AsmEdge{from, to, overlap_estimate, offset_estimate, 1.0f, false, false});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+std::vector<EdgeId> AsmGraph::live_out(NodeId v) const {
+  std::vector<EdgeId> out;
+  for (const EdgeId e : out_[v]) {
+    if (edge_live(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EdgeId> AsmGraph::live_in(NodeId v) const {
+  std::vector<EdgeId> out;
+  for (const EdgeId e : in_[v]) {
+    if (edge_live(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t AsmGraph::live_out_degree(NodeId v) const {
+  std::size_t n = 0;
+  for (const EdgeId e : out_[v]) {
+    if (edge_live(e)) ++n;
+  }
+  return n;
+}
+
+std::size_t AsmGraph::live_in_degree(NodeId v) const {
+  std::size_t n = 0;
+  for (const EdgeId e : in_[v]) {
+    if (edge_live(e)) ++n;
+  }
+  return n;
+}
+
+std::optional<EdgeId> AsmGraph::find_edge(NodeId u, NodeId v) const {
+  for (const EdgeId e : out_[u]) {
+    if (edge_live(e) && edges_[e].to == v) return e;
+  }
+  return std::nullopt;
+}
+
+std::size_t AsmGraph::live_node_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (!node.removed) ++n;
+  }
+  return n;
+}
+
+std::size_t AsmGraph::live_edge_count() const {
+  std::size_t n = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edge_live(e)) ++n;
+  }
+  return n;
+}
+
+std::string AsmGraph::merge_path_contigs(const std::vector<NodeId>& path) const {
+  FOCUS_CHECK(!path.empty(), "cannot merge an empty path");
+  std::string contig = nodes_[path[0]].contig;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto eid = find_edge(path[i - 1], path[i]);
+    FOCUS_CHECK(eid.has_value(), "path without connecting edge");
+    const std::uint32_t overlap = edges_[*eid].overlap;
+    const std::string& next = nodes_[path[i]].contig;
+    if (overlap < next.size()) {
+      contig += next.substr(overlap);
+    }
+    // If the recorded overlap consumes the whole next contig, nothing to add.
+  }
+  return contig;
+}
+
+}  // namespace focus::dist

@@ -1,0 +1,213 @@
+#include "dist/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace focus::dist {
+
+namespace {
+
+// Nodes of each partition, in node-id order.
+std::vector<std::vector<NodeId>> partition_nodes(std::span<const PartId> part,
+                                                 PartId nparts) {
+  std::vector<std::vector<NodeId>> nodes(static_cast<std::size_t>(nparts));
+  for (NodeId v = 0; v < part.size(); ++v) {
+    FOCUS_CHECK(part[v] >= 0 && part[v] < nparts,
+                "node with invalid partition id");
+    nodes[static_cast<std::size_t>(part[v])].push_back(v);
+  }
+  return nodes;
+}
+
+bool mine(std::size_t partition, const mpr::Comm& comm) {
+  return static_cast<int>(partition %
+                          static_cast<std::size_t>(comm.size())) ==
+         comm.rank();
+}
+
+}  // namespace
+
+ParallelSimplifyResult simplify_parallel(AsmGraph& g,
+                                         std::span<const PartId> part,
+                                         PartId nparts,
+                                         const SimplifyConfig& config,
+                                         int nranks, mpr::CostModel cost) {
+  FOCUS_CHECK(part.size() == g.node_count(), "partition size mismatch");
+  const auto nodes = partition_nodes(part, nparts);
+
+  ParallelSimplifyResult out;
+  out.run = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        // --- Phase 1: transitive reduction (§V-A). -------------------------
+        {
+          std::vector<EdgeId> records;
+          double work = 0.0;
+          for (std::size_t p = 0; p < nodes.size(); ++p) {
+            if (!mine(p, comm)) continue;
+            auto found = find_transitive_edges(g, nodes[p], &work);
+            records.insert(records.end(), found.begin(), found.end());
+          }
+          comm.charge(work);
+          mpr::Message msg;
+          msg.pack_vector(records);
+          auto gathered = comm.gather(std::move(msg), 0);
+          if (comm.rank() == 0) {
+            std::vector<EdgeId> all;
+            for (auto& m : gathered) {
+              auto v = m.unpack_vector<EdgeId>();
+              all.insert(all.end(), v.begin(), v.end());
+            }
+            comm.charge(static_cast<double>(all.size()));
+            out.stats.transitive_edges = apply_edge_removals(g, std::move(all));
+          }
+          comm.barrier();
+        }
+
+        // --- Phase 2: containment removal + edge verification (§V-B). ------
+        {
+          ContainmentFindings records;
+          double work = 0.0;
+          for (std::size_t p = 0; p < nodes.size(); ++p) {
+            if (!mine(p, comm)) continue;
+            auto found = find_containments(g, nodes[p], config, &work);
+            records.verified.insert(records.verified.end(),
+                                    found.verified.begin(),
+                                    found.verified.end());
+            records.false_edges.insert(records.false_edges.end(),
+                                       found.false_edges.begin(),
+                                       found.false_edges.end());
+            records.contained_nodes.insert(records.contained_nodes.end(),
+                                           found.contained_nodes.begin(),
+                                           found.contained_nodes.end());
+          }
+          comm.charge(work);
+          mpr::Message msg;
+          msg.pack_vector(records.verified);
+          msg.pack_vector(records.false_edges);
+          msg.pack_vector(records.contained_nodes);
+          auto gathered = comm.gather(std::move(msg), 0);
+          if (comm.rank() == 0) {
+            ContainmentFindings all;
+            for (auto& m : gathered) {
+              auto verified = m.unpack_vector<EdgeVerification>();
+              auto false_edges = m.unpack_vector<EdgeId>();
+              auto contained = m.unpack_vector<NodeId>();
+              all.verified.insert(all.verified.end(), verified.begin(),
+                                  verified.end());
+              all.false_edges.insert(all.false_edges.end(),
+                                     false_edges.begin(), false_edges.end());
+              all.contained_nodes.insert(all.contained_nodes.end(),
+                                         contained.begin(), contained.end());
+            }
+            comm.charge(static_cast<double>(
+                all.verified.size() + all.false_edges.size() +
+                all.contained_nodes.size()));
+            out.stats.verified_edges = apply_verifications(g, all.verified);
+            out.stats.false_edges =
+                apply_edge_removals(g, std::move(all.false_edges));
+            out.stats.contained_nodes =
+                apply_node_removals(g, std::move(all.contained_nodes));
+          }
+          comm.barrier();
+        }
+
+        // --- Phase 3: dead-end trimming (§V-C). -----------------------------
+        {
+          std::vector<NodeId> records;
+          double work = 0.0;
+          for (std::size_t p = 0; p < nodes.size(); ++p) {
+            if (!mine(p, comm)) continue;
+            auto found = find_tips(g, nodes[p], config, &work);
+            records.insert(records.end(), found.begin(), found.end());
+          }
+          comm.charge(work);
+          mpr::Message msg;
+          msg.pack_vector(records);
+          auto gathered = comm.gather(std::move(msg), 0);
+          if (comm.rank() == 0) {
+            std::vector<NodeId> all;
+            for (auto& m : gathered) {
+              auto v = m.unpack_vector<NodeId>();
+              all.insert(all.end(), v.begin(), v.end());
+            }
+            comm.charge(static_cast<double>(all.size()));
+            out.stats.tip_nodes = apply_node_removals(g, std::move(all));
+          }
+          comm.barrier();
+        }
+
+        // --- Phase 4: bubble popping (§V-C). --------------------------------
+        {
+          std::vector<NodeId> records;
+          double work = 0.0;
+          for (std::size_t p = 0; p < nodes.size(); ++p) {
+            if (!mine(p, comm)) continue;
+            auto found = find_bubbles(g, nodes[p], config, &work);
+            records.insert(records.end(), found.begin(), found.end());
+          }
+          comm.charge(work);
+          mpr::Message msg;
+          msg.pack_vector(records);
+          auto gathered = comm.gather(std::move(msg), 0);
+          if (comm.rank() == 0) {
+            std::vector<NodeId> all;
+            for (auto& m : gathered) {
+              auto v = m.unpack_vector<NodeId>();
+              all.insert(all.end(), v.begin(), v.end());
+            }
+            comm.charge(static_cast<double>(all.size()));
+            out.stats.bubble_nodes = apply_node_removals(g, std::move(all));
+          }
+          comm.barrier();
+        }
+      },
+      cost);
+  return out;
+}
+
+ParallelTraverseResult traverse_parallel(const AsmGraph& g,
+                                         std::span<const PartId> part,
+                                         PartId nparts, int nranks,
+                                         mpr::CostModel cost) {
+  FOCUS_CHECK(part.size() == g.node_count(), "partition size mismatch");
+  const auto nodes = partition_nodes(part, nparts);
+
+  ParallelTraverseResult out;
+  out.run = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        std::vector<bool> visited(g.node_count(), false);
+        std::vector<std::vector<NodeId>> subpaths;
+        double work = 0.0;
+        for (std::size_t p = 0; p < nodes.size(); ++p) {
+          if (!mine(p, comm)) continue;
+          auto found = extract_subpaths(g, nodes[p], part, visited, &work);
+          for (auto& path : found) subpaths.push_back(std::move(path));
+        }
+        comm.charge(work);
+
+        mpr::Message msg;
+        msg.pack(static_cast<std::uint32_t>(subpaths.size()));
+        for (const auto& path : subpaths) msg.pack_vector(path);
+        auto gathered = comm.gather(std::move(msg), 0);
+        if (comm.rank() == 0) {
+          std::vector<std::vector<NodeId>> all;
+          for (auto& m : gathered) {
+            const auto count = m.unpack<std::uint32_t>();
+            for (std::uint32_t i = 0; i < count; ++i) {
+              all.push_back(m.unpack_vector<NodeId>());
+            }
+          }
+          double join_work = 0.0;
+          out.paths = join_subpaths(g, std::move(all), &join_work);
+          comm.charge(join_work);
+        }
+        comm.barrier();
+      },
+      cost);
+  return out;
+}
+
+}  // namespace focus::dist

@@ -1,0 +1,43 @@
+// mpr-parallel drivers for the distributed graph algorithms (paper §V, §VI-D).
+//
+// The hybrid graph is partitioned; each partition is assigned to a worker
+// rank (round-robin when there are more partitions than ranks). Workers scan
+// only their partitions and ship recorded changes to the master (rank 0),
+// which applies them between phases — the paper's master/worker protocol.
+#pragma once
+
+#include <span>
+
+#include "dist/simplify.hpp"
+#include "dist/traverse.hpp"
+#include "mpr/runtime.hpp"
+
+namespace focus::dist {
+
+struct ParallelSimplifyResult {
+  SimplifyStats stats;
+  mpr::RunStats run;
+};
+
+/// Distributed graph trimming: transitive reduction, containment removal and
+/// edge verification, dead-end trimming, bubble popping — each as a
+/// worker-record / master-apply phase separated by barriers.
+ParallelSimplifyResult simplify_parallel(AsmGraph& g,
+                                         std::span<const PartId> part,
+                                         PartId nparts,
+                                         const SimplifyConfig& config,
+                                         int nranks, mpr::CostModel cost = {});
+
+struct ParallelTraverseResult {
+  std::vector<std::vector<NodeId>> paths;
+  mpr::RunStats run;
+};
+
+/// Distributed maximal-path traversal: workers grow partition-local
+/// sub-paths; the master joins them across partition boundaries.
+ParallelTraverseResult traverse_parallel(const AsmGraph& g,
+                                         std::span<const PartId> part,
+                                         PartId nparts, int nranks,
+                                         mpr::CostModel cost = {});
+
+}  // namespace focus::dist

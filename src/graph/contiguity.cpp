@@ -1,0 +1,137 @@
+#include "graph/contiguity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace focus::graph {
+
+ContiguityTester::ContiguityTester(const Digraph& reads,
+                                   std::vector<std::uint32_t> read_lengths)
+    : reads_(&reads),
+      read_lengths_(std::move(read_lengths)),
+      stamp_(reads.node_count(), 0) {
+  FOCUS_CHECK(read_lengths_.size() == reads.node_count(),
+              "read length table size mismatch");
+}
+
+bool ContiguityTester::contiguous(std::span<const NodeId> cluster,
+                                  std::vector<LayoutStep>* layout) const {
+  if (cluster.empty()) return false;
+
+  ++current_stamp_;
+  const std::uint32_t mark = current_stamp_;
+  for (const NodeId v : cluster) stamp_[v] = mark;
+
+  // Active members: cluster reads that are not contained in another read.
+  std::vector<NodeId> active;
+  active.reserve(cluster.size());
+  for (const NodeId v : cluster) {
+    if (!reads_->is_contained(v)) active.push_back(v);
+  }
+  work_ += static_cast<double>(cluster.size());
+
+  if (active.size() <= 1) {
+    if (layout != nullptr) {
+      layout->clear();
+      NodeId rep = kInvalidNode;
+      if (!active.empty()) {
+        rep = active.front();
+      } else {
+        // All reads contained: the longest read carries the cluster sequence.
+        rep = *std::max_element(
+            cluster.begin(), cluster.end(), [&](NodeId a, NodeId b) {
+              if (read_lengths_[a] != read_lengths_[b]) {
+                return read_lengths_[a] < read_lengths_[b];
+              }
+              return a < b;
+            });
+      }
+      layout->push_back(LayoutStep{rep, 0});
+    }
+    return true;
+  }
+
+  // Induced out-adjacency among active nodes. Contained reads are excluded
+  // from the path; edges through them carry no extra layout information.
+  std::unordered_map<NodeId, std::vector<DiEdge>> out;
+  out.reserve(active.size());
+  auto in_cluster_active = [&](NodeId v) {
+    return stamp_[v] == mark && !reads_->is_contained(v);
+  };
+  for (const NodeId u : active) {
+    auto& edges = out[u];
+    for (const DiEdge& e : reads_->out_edges(u)) {
+      if (in_cluster_active(e.to)) edges.push_back(e);
+      work_ += 1.0;
+    }
+  }
+
+  // Local transitive reduction: u->w is redundant if some active v gives
+  // u->v and v->w.
+  std::unordered_set<NodeId> direct;
+  std::unordered_map<NodeId, std::vector<DiEdge>> reduced;
+  reduced.reserve(active.size());
+  for (const NodeId u : active) {
+    const auto& edges = out[u];
+    direct.clear();
+    for (const DiEdge& e : edges) direct.insert(e.to);
+    std::unordered_set<NodeId> transitive;
+    for (const DiEdge& mid : edges) {
+      for (const DiEdge& far : out[mid.to]) {
+        work_ += 1.0;
+        if (far.to != u && direct.contains(far.to)) transitive.insert(far.to);
+      }
+    }
+    auto& keep = reduced[u];
+    for (const DiEdge& e : edges) {
+      if (!transitive.contains(e.to)) keep.push_back(e);
+    }
+  }
+
+  // Path test: after reduction every node has in/out degree <= 1, there are
+  // exactly |active|-1 edges, and the structure is connected (which, with
+  // the degree bound and edge count, a unique zero-in-degree start implies).
+  std::unordered_map<NodeId, std::size_t> in_degree;
+  std::size_t edge_total = 0;
+  for (const NodeId u : active) {
+    const auto& edges = reduced[u];
+    if (edges.size() > 1) return false;
+    edge_total += edges.size();
+    for (const DiEdge& e : edges) {
+      if (++in_degree[e.to] > 1) return false;
+    }
+  }
+  if (edge_total != active.size() - 1) return false;
+
+  NodeId start = kInvalidNode;
+  for (const NodeId u : active) {
+    if (in_degree.find(u) == in_degree.end()) {
+      if (start != kInvalidNode) return false;  // two path starts: disconnected
+      start = u;
+    }
+  }
+  if (start == kInvalidNode) return false;  // cycle
+
+  // Walk the path; must visit every active node exactly once.
+  std::vector<LayoutStep> steps;
+  steps.reserve(active.size());
+  NodeId cur = start;
+  for (;;) {
+    const auto& edges = reduced[cur];
+    if (edges.empty()) {
+      steps.push_back(LayoutStep{cur, 0});
+      break;
+    }
+    steps.push_back(LayoutStep{cur, edges.front().overlap});
+    cur = edges.front().to;
+  }
+  if (steps.size() != active.size()) return false;
+
+  if (layout != nullptr) *layout = std::move(steps);
+  return true;
+}
+
+}  // namespace focus::graph

@@ -1,0 +1,54 @@
+// Contiguity test for read clusters (paper §II-D).
+//
+// A "best representative" node must come from the most reduced graph level
+// possible "whose corresponding read cluster assembles into a contiguous
+// contig". This tester decides that property on the directed read graph:
+// the cluster's induced subgraph (containment reads excluded), after local
+// transitive reduction, must form a single simple path. When it does, the
+// path *is* the layout of the cluster's contig.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace focus::graph {
+
+/// One read in a contig layout and its overlap with the next read in the
+/// path (0 for the last read).
+struct LayoutStep {
+  NodeId read = kInvalidNode;
+  Weight overlap_to_next = 0;
+};
+
+class ContiguityTester {
+ public:
+  /// `reads` is the directed read graph; `read_lengths[v]` the sequence
+  /// length of read v (used to pick a representative when a cluster consists
+  /// solely of contained reads).
+  ContiguityTester(const Digraph& reads,
+                   std::vector<std::uint32_t> read_lengths);
+
+  /// True iff the cluster assembles into one contiguous contig. On success,
+  /// if `layout` is non-null it receives the reads in left-to-right path
+  /// order with their chaining overlaps.
+  bool contiguous(std::span<const NodeId> cluster,
+                  std::vector<LayoutStep>* layout = nullptr) const;
+
+  /// Work units consumed since construction (for virtual-time accounting).
+  double work() const { return work_; }
+
+ private:
+  const Digraph* reads_;
+  std::vector<std::uint32_t> read_lengths_;
+
+  // Stamp-based cluster membership (avoids clearing a bitset per query).
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t current_stamp_ = 0;
+  mutable double work_ = 0.0;
+};
+
+}  // namespace focus::graph

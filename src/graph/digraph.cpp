@@ -1,0 +1,65 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace focus::graph {
+
+void Digraph::add_edge(NodeId from, NodeId to, Weight overlap) {
+  FOCUS_CHECK(from < out_.size() && to < out_.size(),
+              "digraph edge endpoint out of range");
+  FOCUS_CHECK(from != to, "digraph self-loops are not allowed");
+  out_[from].push_back(DiEdge{to, overlap});
+  in_[to].push_back(DiEdge{from, overlap});
+  ++edge_count_;
+}
+
+void Digraph::finalize() {
+  auto by_target = [](const DiEdge& a, const DiEdge& b) {
+    if (a.to != b.to) return a.to < b.to;
+    return a.overlap > b.overlap;
+  };
+  for (auto& edges : out_) std::sort(edges.begin(), edges.end(), by_target);
+  for (auto& edges : in_) std::sort(edges.begin(), edges.end(), by_target);
+}
+
+Digraph build_read_digraph(std::size_t read_count,
+                           const std::vector<align::Overlap>& overlaps) {
+  Digraph g(read_count);
+  // Collapse duplicates on canonical orientation first.
+  std::vector<align::Overlap> canon;
+  canon.reserve(overlaps.size());
+  for (const auto& o : overlaps) canon.push_back(align::canonicalized(o));
+  std::sort(canon.begin(), canon.end(),
+            [](const align::Overlap& a, const align::Overlap& b) {
+              if (a.query != b.query) return a.query < b.query;
+              if (a.ref != b.ref) return a.ref < b.ref;
+              return a.length > b.length;
+            });
+  const align::Overlap* prev = nullptr;
+  for (const auto& o : canon) {
+    if (prev != nullptr && prev->query == o.query && prev->ref == o.ref) {
+      continue;
+    }
+    prev = &o;
+    switch (o.kind) {
+      case align::OverlapKind::kSuffixPrefix:
+        g.add_edge(o.query, o.ref, static_cast<Weight>(o.length));
+        break;
+      case align::OverlapKind::kPrefixSuffix:
+        g.add_edge(o.ref, o.query, static_cast<Weight>(o.length));
+        break;
+      case align::OverlapKind::kQueryContained:
+        g.mark_contained(o.query);
+        break;
+      case align::OverlapKind::kRefContained:
+        g.mark_contained(o.ref);
+        break;
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace focus::graph

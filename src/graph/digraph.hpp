@@ -1,0 +1,64 @@
+// Directed overlap (assembly) graph over reads.
+//
+// Because preprocessing adds the reverse complement of every read to the set
+// (paper §II-A), all overlaps are forward-forward and a suffix→prefix overlap
+// q→r means "r continues q to the right". Containments are kept out of the
+// edge set and recorded separately — a contained read adds no layout
+// information.
+//
+// This graph drives the contiguity test behind best-representative selection
+// (§II-D) and contig sequence construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "align/overlap.hpp"
+#include "common/types.hpp"
+
+namespace focus::graph {
+
+struct DiEdge {
+  NodeId to = kInvalidNode;
+  /// Overlap alignment length between the two reads.
+  Weight overlap = 0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count)
+      : out_(node_count), in_(node_count), contained_(node_count, false) {}
+
+  std::size_t node_count() const { return out_.size(); }
+
+  void add_edge(NodeId from, NodeId to, Weight overlap);
+
+  std::span<const DiEdge> out_edges(NodeId v) const { return out_[v]; }
+  std::span<const DiEdge> in_edges(NodeId v) const { return in_[v]; }
+  std::size_t out_degree(NodeId v) const { return out_[v].size(); }
+  std::size_t in_degree(NodeId v) const { return in_[v].size(); }
+
+  void mark_contained(NodeId v) { contained_[v] = true; }
+  bool is_contained(NodeId v) const { return contained_[v]; }
+
+  /// Sorts adjacency lists by (to, overlap) for deterministic iteration.
+  /// Call once after all edges are added.
+  void finalize();
+
+  std::size_t edge_count() const { return edge_count_; }
+
+ private:
+  std::vector<std::vector<DiEdge>> out_;
+  std::vector<std::vector<DiEdge>> in_;
+  std::vector<bool> contained_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Builds the directed read graph from verified overlaps: suffix/prefix
+/// overlaps become directed edges; containment overlaps mark the contained
+/// read. Duplicate pair records are collapsed (maximum overlap wins).
+Digraph build_read_digraph(std::size_t read_count,
+                           const std::vector<align::Overlap>& overlaps);
+
+}  // namespace focus::graph

@@ -1,0 +1,123 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace focus::graph {
+
+Weight Graph::weighted_degree(NodeId v) const {
+  Weight sum = 0;
+  for (const Edge& e : neighbors(v)) sum += e.weight;
+  return sum;
+}
+
+Weight Graph::edge_weight(NodeId u, NodeId v) const {
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Edge& e, NodeId target) { return e.to < target; });
+  if (it != adj.end() && it->to == v) return it->weight;
+  return 0;
+}
+
+GraphBuilder::GraphBuilder(std::size_t node_count, Weight default_node_weight)
+    : node_count_(node_count),
+      node_weight_(node_count, default_node_weight) {}
+
+void GraphBuilder::set_node_weight(NodeId v, Weight w) {
+  FOCUS_CHECK(v < node_count_, "node id out of range");
+  FOCUS_CHECK(w > 0, "node weight must be positive");
+  node_weight_[v] = w;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight weight) {
+  FOCUS_CHECK(u < node_count_ && v < node_count_, "edge endpoint out of range");
+  FOCUS_CHECK(u != v, "self-loops are not allowed");
+  FOCUS_CHECK(weight > 0, "edge weight must be positive");
+  edges_.push_back(RawEdge{u, v, weight});
+}
+
+Graph GraphBuilder::build() {
+  // Canonicalize, sort, and merge parallel edges.
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& a, const RawEdge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  std::vector<RawEdge> merged;
+  merged.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().weight += e.weight;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.node_weight_ = node_weight_;
+  g.total_node_weight_ = 0;
+  for (const Weight w : g.node_weight_) g.total_node_weight_ += w;
+  g.edge_count_ = merged.size();
+  g.total_edge_weight_ = 0;
+
+  // Degree counting for CSR layout (each undirected edge appears twice).
+  std::vector<std::size_t> degree(node_count_, 0);
+  for (const auto& e : merged) {
+    ++degree[e.u];
+    ++degree[e.v];
+    g.total_edge_weight_ += e.weight;
+  }
+  g.offsets_.assign(node_count_ + 1, 0);
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.adjacency_.resize(g.offsets_.back());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : merged) {
+    g.adjacency_[cursor[e.u]++] = Edge{e.v, e.weight};
+    g.adjacency_[cursor[e.v]++] = Edge{e.u, e.weight};
+  }
+  // Merged edges were emitted in sorted (u, v) order, so each node's
+  // adjacency is already sorted by neighbor id — except contributions from
+  // the reverse direction interleave; sort each range to guarantee order.
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+              [](const Edge& a, const Edge& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+Graph build_overlap_graph(std::size_t read_count,
+                          const std::vector<align::Overlap>& overlaps) {
+  GraphBuilder builder(read_count, /*default_node_weight=*/1);
+  // Deduplicate by canonical pair, keeping the maximum alignment length; the
+  // aligner already dedupes, but the graph layer re-checks so it can be fed
+  // from any overlap source.
+  std::vector<align::Overlap> canon;
+  canon.reserve(overlaps.size());
+  for (const auto& o : overlaps) canon.push_back(align::canonicalized(o));
+  std::sort(canon.begin(), canon.end(),
+            [](const align::Overlap& a, const align::Overlap& b) {
+              if (a.query != b.query) return a.query < b.query;
+              if (a.ref != b.ref) return a.ref < b.ref;
+              return a.length > b.length;
+            });
+  const align::Overlap* prev = nullptr;
+  for (const auto& o : canon) {
+    FOCUS_CHECK(o.query < read_count && o.ref < read_count,
+                "overlap references an unknown read");
+    if (prev != nullptr && prev->query == o.query && prev->ref == o.ref) {
+      continue;
+    }
+    builder.add_edge(o.query, o.ref, static_cast<Weight>(o.length));
+    prev = &o;
+  }
+  return builder.build();
+}
+
+}  // namespace focus::graph

@@ -1,0 +1,98 @@
+// Undirected weighted graph — the representation used for coarsening and
+// partitioning (paper §II-C, §III, §IV).
+//
+// Nodes carry weights (the number of reads a node represents; 1 in G0) and
+// edges carry weights (the overlap alignment length, summed when coarsening
+// merges parallel edges). Adjacency is stored sorted by neighbor id, so
+// iteration order — and therefore every algorithm built on top — is
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/overlap.hpp"
+#include "common/types.hpp"
+
+namespace focus::graph {
+
+struct Edge {
+  NodeId to = kInvalidNode;
+  Weight weight = 0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t node_count() const { return node_weight_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  Weight node_weight(NodeId v) const { return node_weight_[v]; }
+  /// Sum of node weights over the whole graph.
+  Weight total_node_weight() const { return total_node_weight_; }
+  /// Sum of edge weights over undirected edges (each counted once).
+  Weight total_edge_weight() const { return total_edge_weight_; }
+
+  std::span<const Edge> neighbors(NodeId v) const {
+    const std::size_t begin = offsets_[v];
+    const std::size_t end = offsets_[v + 1];
+    return {adjacency_.data() + begin, end - begin};
+  }
+
+  std::size_t degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sum of incident edge weights of v.
+  Weight weighted_degree(NodeId v) const;
+
+  /// Weight of edge (u, v), or 0 if absent. O(log deg(u)).
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  bool has_edge(NodeId u, NodeId v) const { return edge_weight(u, v) > 0; }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Weight> node_weight_;
+  std::vector<std::size_t> offsets_;  // CSR offsets, size node_count()+1
+  std::vector<Edge> adjacency_;       // sorted by `to` within each node
+  std::size_t edge_count_ = 0;
+  Weight total_node_weight_ = 0;
+  Weight total_edge_weight_ = 0;
+};
+
+/// Accumulates nodes and edges, merging parallel edges by summing weights,
+/// then produces an immutable CSR Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t node_count, Weight default_node_weight = 1);
+
+  void set_node_weight(NodeId v, Weight w);
+
+  /// Adds undirected edge (u, v). Self-loops are rejected. Parallel adds are
+  /// merged with `combine` semantics at build time (weights summed).
+  void add_edge(NodeId u, NodeId v, Weight weight);
+
+  Graph build();
+
+ private:
+  std::size_t node_count_;
+  std::vector<Weight> node_weight_;
+  struct RawEdge {
+    NodeId u, v;
+    Weight weight;
+  };
+  std::vector<RawEdge> edges_;
+};
+
+/// Builds the overlap graph G0 from verified overlaps: one node per read
+/// (weight 1), one undirected edge per overlapping read pair, weighted by the
+/// overlap alignment length (paper §II-C). Duplicate pair records keep the
+/// maximum length.
+Graph build_overlap_graph(std::size_t read_count,
+                          const std::vector<align::Overlap>& overlaps);
+
+}  // namespace focus::graph

@@ -1,0 +1,139 @@
+#include "io/fastx.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace focus::io {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
+  std::ostringstream os;
+  os << "fastx parse error at line " << line_no << ": " << what;
+  throw Error(os.str());
+}
+
+// Reads the next line, stripping a trailing '\r' (CRLF tolerance).
+bool get_line(std::istream& in, std::string& line, std::size_t& line_no) {
+  if (!std::getline(in, line)) return false;
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+bool valid_phred33(const std::string& qual) {
+  for (char c : qual) {
+    if (c < '!' || c > '~') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ReadSet parse_fasta(std::istream& in) {
+  ReadSet reads;
+  std::string line;
+  std::size_t line_no = 0;
+  Read current;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (!in_record) return;
+    if (current.seq.empty()) parse_fail(line_no, "FASTA record with empty sequence");
+    reads.add(std::move(current));
+    current = Read{};
+  };
+
+  while (get_line(in, line, line_no)) {
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      current.name = line.substr(1);
+      if (current.name.empty()) parse_fail(line_no, "FASTA header with empty name");
+    } else {
+      if (!in_record) parse_fail(line_no, "sequence data before first '>' header");
+      current.seq += line;
+    }
+  }
+  flush();
+  return reads;
+}
+
+ReadSet parse_fastq(std::istream& in) {
+  ReadSet reads;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (get_line(in, line, line_no)) {
+    if (line.empty()) continue;
+    if (line[0] != '@') parse_fail(line_no, "expected '@' record header");
+    Read r;
+    r.name = line.substr(1);
+    if (r.name.empty()) parse_fail(line_no, "FASTQ header with empty name");
+    if (!get_line(in, r.seq, line_no)) parse_fail(line_no, "truncated record: missing sequence");
+    if (r.seq.empty()) parse_fail(line_no, "FASTQ record with empty sequence");
+    if (!get_line(in, line, line_no)) parse_fail(line_no, "truncated record: missing '+' line");
+    if (line.empty() || line[0] != '+') parse_fail(line_no, "expected '+' separator line");
+    if (!get_line(in, r.qual, line_no)) parse_fail(line_no, "truncated record: missing quality line");
+    if (r.qual.size() != r.seq.size()) {
+      parse_fail(line_no, "quality length does not match sequence length");
+    }
+    if (!valid_phred33(r.qual)) parse_fail(line_no, "quality characters outside Phred+33 range");
+    reads.add(std::move(r));
+  }
+  return reads;
+}
+
+ReadSet parse_fastx(std::istream& in) {
+  // Peek past blank lines to the first record marker.
+  while (in.good()) {
+    const int c = in.peek();
+    if (c == '\n' || c == '\r') {
+      in.get();
+      continue;
+    }
+    if (c == '>') return parse_fasta(in);
+    if (c == '@') return parse_fastq(in);
+    if (c == std::char_traits<char>::eof()) break;
+    throw Error("fastx parse error: input is neither FASTA ('>') nor FASTQ ('@')");
+  }
+  return ReadSet{};
+}
+
+ReadSet parse_fastx_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_fastx(in);
+}
+
+ReadSet load_fastx_file(const std::string& path) {
+  std::ifstream in(path);
+  FOCUS_CHECK(in.good(), "cannot open file: " + path);
+  return parse_fastx(in);
+}
+
+void write_fasta(std::ostream& out, const ReadSet& reads, std::size_t line_width) {
+  FOCUS_CHECK(line_width > 0, "line width must be positive");
+  for (const auto& r : reads) {
+    out << '>' << r.name << '\n';
+    for (std::size_t i = 0; i < r.seq.size(); i += line_width) {
+      out << r.seq.substr(i, line_width) << '\n';
+    }
+  }
+}
+
+void write_fastq(std::ostream& out, const ReadSet& reads) {
+  for (const auto& r : reads) {
+    out << '@' << r.name << '\n' << r.seq << '\n' << "+\n";
+    if (r.qual.size() == r.seq.size()) {
+      out << r.qual << '\n';
+    } else {
+      // FASTA-originated reads get maximal confidence placeholders.
+      out << std::string(r.seq.size(), 'I') << '\n';
+    }
+  }
+}
+
+}  // namespace focus::io

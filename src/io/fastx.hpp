@@ -1,0 +1,37 @@
+// FASTA/FASTQ parsing and writing (paper §II-A: "Focus accepts both fasta
+// and fastq data as input").
+//
+// The parsers are strict about structure (record markers, FASTQ 4-line
+// grammar, quality/sequence length agreement) and throw focus::Error with the
+// offending line number; they are permissive about sequence alphabet
+// (non-ACGT characters are preserved and handled downstream).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "io/read.hpp"
+
+namespace focus::io {
+
+/// Parses FASTA; multi-line sequences are concatenated.
+ReadSet parse_fasta(std::istream& in);
+
+/// Parses FASTQ (4-line records; '+' separator line; Phred+33 qualities).
+ReadSet parse_fastq(std::istream& in);
+
+/// Auto-detects FASTA ('>') vs FASTQ ('@') from the first record marker.
+ReadSet parse_fastx(std::istream& in);
+
+/// Convenience overloads over whole strings (used heavily by tests).
+ReadSet parse_fastx_string(const std::string& text);
+
+/// File loaders; throw focus::Error if the file cannot be opened.
+ReadSet load_fastx_file(const std::string& path);
+
+/// Writers.
+void write_fasta(std::ostream& out, const ReadSet& reads,
+                 std::size_t line_width = 70);
+void write_fastq(std::ostream& out, const ReadSet& reads);
+
+}  // namespace focus::io

@@ -1,0 +1,200 @@
+#include "io/preprocess.hpp"
+
+#include <algorithm>
+
+#include "common/dna.hpp"
+
+namespace focus::io {
+
+double window_average_quality(const std::string& qual, std::size_t begin,
+                              std::size_t len) {
+  FOCUS_ASSERT(begin + len <= qual.size(), "quality window out of range");
+  FOCUS_ASSERT(len > 0, "quality window must be non-empty");
+  double sum = 0.0;
+  for (std::size_t i = begin; i < begin + len; ++i) {
+    sum += static_cast<double>(qual[i] - '!');
+  }
+  return sum / static_cast<double>(len);
+}
+
+namespace {
+
+// Returns the kept length of the read after 3'-end sliding-window quality
+// trimming, per §II-A: the window starts at the 3' end and moves toward the
+// 5' end in steps of `window_step`; at the first window whose average quality
+// exceeds `min_quality`, the read is trimmed from the right end of that
+// window to the 3' end (i.e. the right end of the window becomes the new
+// read end).
+std::size_t quality_trim_point(const std::string& qual,
+                               const PreprocessConfig& config) {
+  const std::size_t n = qual.size();
+  const std::size_t l = config.window_len;
+  if (l == 0 || n < l) return n;
+  // Window positions: right edge at n, n-step, n-2*step, ... while the
+  // window fits.
+  for (std::size_t right = n;; right -= config.window_step) {
+    const std::size_t begin = right - l;
+    if (window_average_quality(qual, begin, l) > config.min_quality) {
+      return right;
+    }
+    if (begin < config.window_step) break;
+  }
+  return 0;  // no window passed: whole read is low quality
+}
+
+}  // namespace
+
+bool trim_read(Read& read, const PreprocessConfig& config) {
+  FOCUS_CHECK(config.window_step > 0 || config.window_len == 0,
+              "window step must be positive when quality trimming is enabled");
+  // Fixed trims.
+  if (config.trim5 + config.trim3 >= read.seq.size()) return false;
+  read.seq = read.seq.substr(config.trim5,
+                             read.seq.size() - config.trim5 - config.trim3);
+  if (!read.qual.empty()) {
+    read.qual = read.qual.substr(config.trim5, read.seq.size());
+  }
+  // Quality trim (FASTQ only).
+  if (!read.qual.empty() && config.window_len > 0) {
+    const std::size_t keep = quality_trim_point(read.qual, config);
+    read.seq.resize(keep);
+    read.qual.resize(keep);
+  }
+  return read.seq.size() >= config.min_length && !read.seq.empty();
+}
+
+ReadSet preprocess(const ReadSet& input, const PreprocessConfig& config,
+                   PreprocessStats* stats) {
+  PreprocessStats local;
+  local.input_reads = input.size();
+
+  ReadSet out;
+  out.reserve(input.size() * (config.add_reverse_complements ? 2 : 1));
+  for (ReadId i = 0; i < input.size(); ++i) {
+    Read r = input[i];
+    const std::uint64_t before = r.seq.size();
+    if (!trim_read(r, config)) {
+      ++local.dropped_short;
+      continue;
+    }
+    local.bases_trimmed += before - r.seq.size();
+    r.origin = i;
+    r.reverse = false;
+    const std::string fwd_seq = r.seq;
+    const std::string fwd_name = r.name;
+    out.add(std::move(r));
+    if (config.add_reverse_complements) {
+      Read rc;
+      rc.name = fwd_name + "/rc";
+      rc.seq = dna::reverse_complement(fwd_seq);
+      rc.origin = i;
+      rc.reverse = true;
+      out.add(std::move(rc));
+    }
+  }
+  local.output_reads = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+ParallelPreprocessResult preprocess_parallel(const ReadSet& input,
+                                             const PreprocessConfig& config,
+                                             int nranks,
+                                             mpr::CostModel cost) {
+  FOCUS_CHECK(nranks >= 1, "need at least one rank");
+  ParallelPreprocessResult result;
+  result.run = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        // Contiguous chunk of input reads for this rank.
+        const std::size_t n = input.size();
+        const auto p = static_cast<std::size_t>(comm.size());
+        const auto me = static_cast<std::size_t>(comm.rank());
+        const std::size_t begin = n * me / p;
+        const std::size_t end = n * (me + 1) / p;
+
+        ReadSet local;
+        PreprocessStats local_stats;
+        local_stats.input_reads = end - begin;
+        double bases = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          Read r = input[static_cast<ReadId>(i)];
+          bases += static_cast<double>(r.seq.size());
+          const std::uint64_t before = r.seq.size();
+          if (!trim_read(r, config)) {
+            ++local_stats.dropped_short;
+            continue;
+          }
+          local_stats.bases_trimmed += before - r.seq.size();
+          r.origin = static_cast<ReadId>(i);
+          r.reverse = false;
+          const std::string fwd_seq = r.seq;
+          const std::string fwd_name = r.name;
+          local.add(std::move(r));
+          if (config.add_reverse_complements) {
+            Read rc;
+            rc.name = fwd_name + "/rc";
+            rc.seq = dna::reverse_complement(fwd_seq);
+            rc.origin = static_cast<ReadId>(i);
+            rc.reverse = true;
+            local.add(std::move(rc));
+          }
+        }
+        local_stats.output_reads = local.size();
+        comm.charge(bases);
+
+        // Ship the chunk to rank 0 (reads serialized field by field).
+        mpr::Message msg;
+        msg.pack(static_cast<std::uint64_t>(local.size()));
+        for (const Read& r : local) {
+          msg.pack_string(r.name);
+          msg.pack_string(r.seq);
+          msg.pack_string(r.qual);
+          msg.pack(r.origin);
+          msg.pack(static_cast<std::uint8_t>(r.reverse ? 1 : 0));
+        }
+        msg.pack(static_cast<std::uint64_t>(local_stats.dropped_short));
+        msg.pack(static_cast<std::uint64_t>(local_stats.bases_trimmed));
+        auto gathered = comm.gather(std::move(msg), 0);
+        if (comm.rank() == 0) {
+          result.stats.input_reads = input.size();
+          for (auto& m : gathered) {
+            const auto count = m.unpack<std::uint64_t>();
+            for (std::uint64_t i = 0; i < count; ++i) {
+              Read r;
+              r.name = m.unpack_string();
+              r.seq = m.unpack_string();
+              r.qual = m.unpack_string();
+              r.origin = m.unpack<ReadId>();
+              r.reverse = m.unpack<std::uint8_t>() != 0;
+              result.reads.add(std::move(r));
+            }
+            result.stats.dropped_short +=
+                static_cast<std::size_t>(m.unpack<std::uint64_t>());
+            result.stats.bases_trimmed += m.unpack<std::uint64_t>();
+          }
+          result.stats.output_reads = result.reads.size();
+        }
+        comm.barrier();
+      },
+      cost);
+  return result;
+}
+
+std::vector<std::vector<ReadId>> split_into_subsets(std::size_t read_count,
+                                                    std::size_t subsets) {
+  FOCUS_CHECK(subsets > 0, "subset count must be positive");
+  std::vector<std::vector<ReadId>> out(subsets);
+  const std::size_t base = read_count / subsets;
+  const std::size_t extra = read_count % subsets;
+  ReadId next = 0;
+  for (std::size_t s = 0; s < subsets; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out[s].reserve(len);
+    for (std::size_t i = 0; i < len; ++i) out[s].push_back(next++);
+  }
+  FOCUS_ASSERT(next == read_count, "subset split lost reads");
+  return out;
+}
+
+}  // namespace focus::io

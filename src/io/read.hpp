@@ -1,0 +1,64 @@
+// Read and ReadSet: the unit of NGS input data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace focus::io {
+
+/// One sequencing read. `qual` is Phred+33 and empty for FASTA input.
+/// `origin`/`reverse` trace reads produced by preprocessing (trimming and
+/// reverse-complement augmentation, paper §II-A) back to their source read.
+struct Read {
+  std::string name;
+  std::string seq;
+  std::string qual;
+  ReadId origin = kInvalidRead;
+  bool reverse = false;
+
+  std::size_t length() const { return seq.size(); }
+};
+
+/// A dense, indexable collection of reads.
+class ReadSet {
+ public:
+  ReadSet() = default;
+  explicit ReadSet(std::vector<Read> reads) : reads_(std::move(reads)) {}
+
+  ReadId add(Read read) {
+    reads_.push_back(std::move(read));
+    return static_cast<ReadId>(reads_.size() - 1);
+  }
+
+  std::size_t size() const { return reads_.size(); }
+  bool empty() const { return reads_.empty(); }
+
+  const Read& operator[](ReadId id) const {
+    FOCUS_ASSERT(id < reads_.size(), "read id out of range");
+    return reads_[id];
+  }
+  Read& operator[](ReadId id) {
+    FOCUS_ASSERT(id < reads_.size(), "read id out of range");
+    return reads_[id];
+  }
+
+  auto begin() const { return reads_.begin(); }
+  auto end() const { return reads_.end(); }
+
+  /// Total bases across all reads.
+  std::uint64_t total_bases() const {
+    std::uint64_t n = 0;
+    for (const auto& r : reads_) n += r.seq.size();
+    return n;
+  }
+
+  void reserve(std::size_t n) { reads_.reserve(n); }
+
+ private:
+  std::vector<Read> reads_;
+};
+
+}  // namespace focus::io

@@ -1,0 +1,81 @@
+// Message: a byte buffer with pack/unpack cursors, the unit of communication
+// in the mpr runtime. Supports trivially-copyable scalars, strings, and
+// vectors thereof. Unpacking past the end throws — a truncated message is a
+// protocol bug, not a recoverable condition.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace focus::mpr {
+
+class Message {
+ public:
+  Message() = default;
+
+  std::size_t size_bytes() const { return bytes_.size(); }
+  bool fully_consumed() const { return cursor_ == bytes_.size(); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pack(const T& value) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  void pack_string(const std::string& s) {
+    pack(static_cast<std::uint64_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    bytes_.insert(bytes_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pack_vector(const std::vector<T>& v) {
+    pack(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T unpack() {
+    T value;
+    take(&value, sizeof(T));
+    return value;
+  }
+
+  std::string unpack_string() {
+    const auto n = unpack<std::uint64_t>();
+    std::string s(static_cast<std::size_t>(n), '\0');
+    take(s.data(), s.size());
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> unpack_vector() {
+    const auto n = unpack<std::uint64_t>();
+    std::vector<T> v(static_cast<std::size_t>(n));
+    take(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+ private:
+  void take(void* dst, std::size_t n) {
+    FOCUS_CHECK(cursor_ + n <= bytes_.size(),
+                "message unpack past end of buffer");
+    std::memcpy(dst, bytes_.data() + cursor_, n);
+    cursor_ += n;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace focus::mpr

@@ -1,0 +1,311 @@
+#include "mpr/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace focus::mpr {
+
+namespace {
+
+// Collective op codes folded into internal (negative) tags.
+enum CollectiveOp : int {
+  kOpBroadcast = 0,
+  kOpGather = 1,
+  kOpReduceSum = 2,
+  kOpReduceMax = 3,
+  kOpReduceFMax = 4,
+  kOpCount = 5,
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
+
+int Comm::size() const { return rt_->size(); }
+
+const CostModel& Comm::cost() const { return rt_->cost(); }
+
+void Comm::charge(double work_units) {
+  FOCUS_ASSERT(work_units >= 0.0, "negative work charge");
+  clock_ += rt_->cost().compute_cost(work_units);
+}
+
+void Comm::advance_vtime(double seconds) {
+  FOCUS_ASSERT(seconds >= 0.0, "negative time advance");
+  clock_ += seconds;
+}
+
+void Comm::send(Rank dst, int tag, Message msg) {
+  FOCUS_CHECK(dst >= 0 && dst < size(), "send to invalid rank");
+  FOCUS_CHECK(dst != rank_, "send to self is not supported");
+  const std::size_t bytes = msg.size_bytes();
+  // Eager-protocol CPU overhead on the sender.
+  clock_ += rt_->cost().alpha;
+  Runtime::Envelope env{std::move(msg),
+                        clock_ + rt_->cost().message_cost(bytes)};
+  rt_->deliver(dst, rank_, tag, std::move(env));
+}
+
+Message Comm::recv(Rank src, int tag) {
+  FOCUS_CHECK(src >= 0 && src < size(), "recv from invalid rank");
+  FOCUS_CHECK(src != rank_, "recv from self is not supported");
+  Runtime::Envelope env = rt_->take(rank_, src, tag);
+  clock_ = std::max(clock_, env.arrival_floor);
+  return std::move(env.payload);
+}
+
+void Comm::barrier() { rt_->barrier_wait(*this); }
+
+int Comm::next_collective_tag(int op) {
+  // Collectives are SPMD-ordered, so a per-rank sequence number matches
+  // across ranks. Negative tags keep the internal space disjoint from user
+  // tags (which must be >= 0).
+  const int seq = static_cast<int>(collective_seq_++ % 0x0ffffff);
+  return -(seq * kOpCount + op + 1);
+}
+
+Message Comm::broadcast(Message msg, Rank root) {
+  const int p = size();
+  const int tag = next_collective_tag(kOpBroadcast);
+  if (p == 1) return msg;
+  // Binomial tree rooted at `root`, in the rotated space
+  // vrank = (rank - root) mod p. A node's parent clears its lowest set bit;
+  // its children are vrank | m for masks m below that bit.
+  const int vrank = (rank_ - root + p) % p;
+  int level = 1;
+  if (vrank == 0) {
+    while (level < p) level <<= 1;
+  } else {
+    while ((vrank & level) == 0) level <<= 1;
+  }
+  if (vrank != 0) {
+    msg = recv(((vrank & ~level) + root) % p, tag);
+  }
+  for (int mask = level >> 1; mask >= 1; mask >>= 1) {
+    const int vdst = vrank | mask;
+    if (vdst < p) {
+      Message copy = msg;  // payload duplicated per subtree
+      send((vdst + root) % p, tag, std::move(copy));
+    }
+  }
+  return msg;
+}
+
+std::vector<Message> Comm::gather(Message local, Rank root) {
+  const int p = size();
+  const int tag = next_collective_tag(kOpGather);
+  if (p == 1) {
+    std::vector<Message> out;
+    out.push_back(std::move(local));
+    return out;
+  }
+  // Flat gather: leaves send directly to root. The tree latency that a
+  // smarter gather would obtain is captured by arrival floors anyway (root
+  // pays alpha+beta*b per child, serialized), which matches the master/worker
+  // pattern of the paper's algorithms.
+  if (rank_ != root) {
+    send(root, tag, std::move(local));
+    return {};
+  }
+  std::vector<Message> out(static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r) {
+    if (r == root) {
+      out[static_cast<std::size_t>(r)] = std::move(local);
+    } else {
+      out[static_cast<std::size_t>(r)] = recv(r, tag);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T, typename Fold>
+T tree_reduce_broadcast(Comm& comm, int tag, T v, Fold fold) {
+  // Reduce up a binomial tree rooted at rank 0, then broadcast the result
+  // down the same tree. The same tag serves both phases: each parent/child
+  // pair exchanges exactly one message per direction, and mailbox queues are
+  // keyed by (source, tag), so the phases cannot interfere.
+  const int p = comm.size();
+  const Rank r = comm.rank();
+
+  // Lowest set bit of r = the level at which r hands off to its parent.
+  // Rank 0 never hands off; its level is the smallest power of two >= p.
+  int level = 1;
+  if (r == 0) {
+    while (level < p) level <<= 1;
+  } else {
+    while ((r & level) == 0) level <<= 1;
+  }
+
+  // Reduce phase: absorb each child (r | mask for mask < level), then hand
+  // the folded value to the parent.
+  for (int mask = 1; mask < level; mask <<= 1) {
+    const int child = r | mask;
+    if (child < p) {
+      Message m = comm.recv(child, tag);
+      v = fold(v, m.unpack<T>());
+    }
+  }
+  if (r != 0) {
+    Message m;
+    m.pack(v);
+    comm.send(r & ~level, tag, std::move(m));
+    Message back = comm.recv(r & ~level, tag);
+    v = back.unpack<T>();
+  }
+
+  // Broadcast phase: forward the final value to every child.
+  for (int mask = level >> 1; mask >= 1; mask >>= 1) {
+    const int child = r | mask;
+    if (child < p) {
+      Message fm;
+      fm.pack(v);
+      comm.send(child, tag, std::move(fm));
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::int64_t Comm::allreduce_sum(std::int64_t v) {
+  const int tag = next_collective_tag(kOpReduceSum);
+  if (size() == 1) return v;
+  return tree_reduce_broadcast(*this, tag, v,
+                               [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+std::int64_t Comm::allreduce_max(std::int64_t v) {
+  const int tag = next_collective_tag(kOpReduceMax);
+  if (size() == 1) return v;
+  return tree_reduce_broadcast(
+      *this, tag, v, [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+}
+
+double Comm::allreduce_fmax(double v) {
+  const int tag = next_collective_tag(kOpReduceFMax);
+  if (size() == 1) return v;
+  return tree_reduce_broadcast(
+      *this, tag, v, [](double a, double b) { return std::max(a, b); });
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(int nranks, CostModel cost) : nranks_(nranks), cost_(cost) {
+  FOCUS_CHECK(nranks >= 1, "runtime requires at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Runtime::deliver(Rank dst, Rank src, int tag, Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stat_messages_;
+    stat_bytes_ += env.payload.size_bytes();
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(env));
+  }
+  box.cv.notify_all();
+}
+
+Runtime::Envelope Runtime::take(Rank self, Rank src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& queue = box.queues[key];
+  Envelope env = std::move(queue.front());
+  queue.pop_front();
+  return env;
+}
+
+void Runtime::barrier_wait(Comm& comm) {
+  if (nranks_ == 1) return;
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  barrier_max_clock_ = std::max(barrier_max_clock_, comm.clock_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_count_ == nranks_) {
+    barrier_release_clock_ =
+        barrier_max_clock_ + cost_.tree_latency(nranks_);
+    barrier_count_ = 0;
+    barrier_max_clock_ = 0.0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+  }
+  comm.clock_ = barrier_release_clock_;
+}
+
+RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
+  Timer wall;
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(nranks_));
+  for (Rank r = 0; r < nranks_; ++r) comms.push_back(Comm(this, r));
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stat_messages_ = 0;
+    stat_bytes_ = 0;
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  if (nranks_ == 1) {
+    fn(comms[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks_));
+    for (Rank r = 0; r < nranks_; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          fn(comms[static_cast<std::size_t>(r)]);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  RunStats stats;
+  stats.rank_vtime.reserve(static_cast<std::size_t>(nranks_));
+  for (const Comm& c : comms) {
+    stats.rank_vtime.push_back(c.vtime());
+    stats.makespan = std::max(stats.makespan, c.vtime());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats.messages = stat_messages_;
+    stats.bytes = stat_bytes_;
+  }
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+RunStats Runtime::execute(int nranks, const std::function<void(Comm&)>& fn,
+                          CostModel cost) {
+  Runtime rt(nranks, cost);
+  return rt.run(fn);
+}
+
+}  // namespace focus::mpr

@@ -1,0 +1,149 @@
+// mpr — a message-passing runtime standing in for MPI.
+//
+// Focus's distributed algorithms (paper §IV–V) are written against this
+// rank/message API exactly as they would be against MPI: SPMD functions
+// receive a Comm bound to their rank, exchange typed byte messages, and
+// synchronize with barriers and collectives. Ranks execute as preemptively
+// scheduled threads inside one process; see cost_model.hpp for how virtual
+// time reproduces cluster timing behaviour on a single-core host.
+//
+// Determinism contract: recv() requires an explicit (source, tag), all ranks
+// call collectives in the same order, and virtual clocks advance only through
+// explicit charges and message causality — so a run's makespan is a pure
+// function of (algorithm, input, cost model), independent of host scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mpr/cost_model.hpp"
+#include "mpr/message.hpp"
+
+namespace focus::mpr {
+
+class Runtime;
+
+/// Aggregate outcome of one SPMD run.
+struct RunStats {
+  /// Simulated makespan: max over ranks of the final virtual clock (seconds).
+  double makespan = 0.0;
+  /// Final virtual clock per rank.
+  std::vector<double> rank_vtime;
+  /// Total point-to-point messages (collectives decompose into p2p).
+  std::uint64_t messages = 0;
+  /// Total payload bytes sent.
+  std::uint64_t bytes = 0;
+  /// Real wall-clock duration of the run (host-dependent; for reference).
+  double wall_seconds = 0.0;
+};
+
+/// Per-rank communication handle passed to the SPMD function.
+class Comm {
+ public:
+  Rank rank() const { return rank_; }
+  int size() const;
+  const CostModel& cost() const;
+
+  /// Advance this rank's virtual clock by `work_units` of compute.
+  void charge(double work_units);
+
+  /// Advance this rank's virtual clock by raw seconds.
+  void advance_vtime(double seconds);
+
+  double vtime() const { return clock_; }
+
+  /// Asynchronous (eager) send. Charges the sender one message latency of
+  /// CPU overhead; the payload arrives at the receiver no earlier than
+  /// send_clock + alpha + beta * bytes.
+  void send(Rank dst, int tag, Message msg);
+
+  /// Blocking receive of the next message from (src, tag), in send order.
+  Message recv(Rank src, int tag);
+
+  /// Synchronize all ranks; clocks advance to the global max plus a
+  /// log2(p) tree latency.
+  void barrier();
+
+  /// Binomial-tree broadcast from root; every rank returns the payload.
+  Message broadcast(Message msg, Rank root);
+
+  /// Binomial-tree gather; at root returns size() messages ordered by rank,
+  /// elsewhere returns an empty vector.
+  std::vector<Message> gather(Message local, Rank root);
+
+  /// All-reduce over i64 sum / i64 max / f64 max (tree up + broadcast down).
+  std::int64_t allreduce_sum(std::int64_t v);
+  std::int64_t allreduce_max(std::int64_t v);
+  double allreduce_fmax(double v);
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* rt, Rank rank) : rt_(rt), rank_(rank) {}
+
+  int next_collective_tag(int op);
+
+  Runtime* rt_;
+  Rank rank_;
+  double clock_ = 0.0;
+  std::uint32_t collective_seq_ = 0;
+};
+
+/// Owns the mailboxes and barrier; executes SPMD functions over n ranks.
+class Runtime {
+ public:
+  explicit Runtime(int nranks, CostModel cost = {});
+
+  int size() const { return nranks_; }
+  const CostModel& cost() const { return cost_; }
+
+  /// Runs fn on every rank (as threads), joins, and returns timing stats.
+  /// If any rank throws, the lowest-rank exception is rethrown after all
+  /// ranks have been joined.
+  RunStats run(const std::function<void(Comm&)>& fn);
+
+  /// One-shot convenience: Runtime(nranks).run(fn).
+  static RunStats execute(int nranks, const std::function<void(Comm&)>& fn,
+                          CostModel cost = {});
+
+ private:
+  friend class Comm;
+
+  struct Envelope {
+    Message payload;
+    double arrival_floor;  // sender clock at send + alpha + beta * bytes
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<Rank, int>, std::deque<Envelope>> queues;
+  };
+
+  void deliver(Rank dst, Rank src, int tag, Envelope env);
+  Envelope take(Rank self, Rank src, int tag);
+  void barrier_wait(Comm& comm);
+
+  int nranks_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  double barrier_max_clock_ = 0.0;
+  double barrier_release_clock_ = 0.0;
+
+  std::mutex stats_mu_;
+  std::uint64_t stat_messages_ = 0;
+  std::uint64_t stat_bytes_ = 0;
+};
+
+}  // namespace focus::mpr

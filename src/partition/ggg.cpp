@@ -1,0 +1,109 @@
+#include "partition/ggg.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/indexed_heap.hpp"
+
+namespace focus::partition {
+
+using graph::Edge;
+using graph::Graph;
+
+std::vector<PartId> greedy_graph_growing(const Graph& g, Rng& rng,
+                                         const GggConfig& config,
+                                         double* work) {
+  const std::size_t n = g.node_count();
+  std::vector<PartId> assign(n, kNoPart);
+  if (n == 0) return assign;
+
+  const Weight total_nw = g.total_node_weight();
+  const double half_nw = 0.5 * static_cast<double>(total_nw);
+
+  // gain[s][v] = 2 * (weight of v's edges into side s) - weighted_degree(v).
+  // Maintained incrementally; the heaps hold the current horizons.
+  std::array<IndexedMaxHeap<Weight>, 2> horizon{IndexedMaxHeap<Weight>(n),
+                                                IndexedMaxHeap<Weight>(n)};
+  std::array<std::vector<Weight>, 2> side_weight{std::vector<Weight>(n, 0),
+                                                 std::vector<Weight>(n, 0)};
+  std::vector<Weight> wdeg(n);
+  for (NodeId v = 0; v < n; ++v) wdeg[v] = g.weighted_degree(v);
+
+  std::array<Weight, 2> nw{0, 0};
+  std::array<Weight, 2> ew{0, 0};
+  std::size_t assigned = 0;
+
+  // Deterministic random probing for unassigned seeds.
+  auto pick_seed = [&]() -> NodeId {
+    if (assigned == n) return kInvalidNode;
+    for (int attempts = 0; attempts < 32; ++attempts) {
+      const auto v = static_cast<NodeId>(rng.next_below(n));
+      if (assign[v] == kNoPart) return v;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (assign[v] == kNoPart) return v;
+    }
+    return kInvalidNode;
+  };
+
+  auto place = [&](NodeId v, int side) {
+    FOCUS_ASSERT(assign[v] == kNoPart, "node placed twice");
+    assign[v] = static_cast<PartId>(side);
+    ++assigned;
+    nw[static_cast<std::size_t>(side)] += g.node_weight(v);
+    ew[static_cast<std::size_t>(side)] += wdeg[v];
+    for (int s = 0; s < 2; ++s) {
+      if (horizon[static_cast<std::size_t>(s)].contains(v)) {
+        horizon[static_cast<std::size_t>(s)].erase(v);
+      }
+    }
+    for (const Edge& e : g.neighbors(v)) {
+      if (work != nullptr) *work += 1.0;
+      if (assign[e.to] != kNoPart) continue;
+      side_weight[static_cast<std::size_t>(side)][e.to] += e.weight;
+      const Weight gain =
+          2 * side_weight[static_cast<std::size_t>(side)][e.to] - wdeg[e.to];
+      horizon[static_cast<std::size_t>(side)].push_or_update(e.to, gain);
+    }
+  };
+
+  int active = 0;
+  {
+    const NodeId seed = pick_seed();
+    FOCUS_ASSERT(seed != kInvalidNode, "no seed in non-empty graph");
+    place(seed, active);
+  }
+
+  while (assigned < n &&
+         static_cast<double>(nw[0]) < half_nw &&
+         static_cast<double>(nw[1]) < half_nw) {
+    const auto a = static_cast<std::size_t>(active);
+    if (horizon[a].empty()) {
+      const NodeId seed = pick_seed();
+      if (seed == kInvalidNode) break;
+      place(seed, active);
+    } else {
+      const NodeId v = horizon[a].pop();
+      if (work != nullptr) *work += 1.0;
+      place(v, active);
+    }
+    // Edge-weight balance: a side that gets too heavy yields to the other.
+    const auto b = 1 - a;
+    if (static_cast<double>(ew[a]) >
+        config.edge_balance_bound * static_cast<double>(ew[b])) {
+      active = static_cast<int>(b);
+    }
+  }
+
+  // Remaining nodes go to the side with less node weight.
+  const int light = nw[0] <= nw[1] ? 0 : 1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (assign[v] == kNoPart) {
+      assign[v] = static_cast<PartId>(light);
+      nw[static_cast<std::size_t>(light)] += g.node_weight(v);
+    }
+  }
+  return assign;
+}
+
+}  // namespace focus::partition

@@ -1,0 +1,38 @@
+// Kernighan–Lin bisection refinement (paper §IV-B).
+//
+// Each pass repeatedly selects the unlocked pair (vz ∈ P1, vy ∈ P2) with the
+// greatest swap gain g = D(vz) + D(vy) − 2·w(vz,vy), swaps and locks it, and
+// updates neighbors' D values. Pair selection follows the paper's
+// O(n² log n) scheme: nodes of each side are kept sorted by D value and pairs
+// are enumerated in decreasing D-sum order (diagonal scanning, Dutt [18]);
+// the scan stops once the current D-sum cannot beat the best gain seen.
+// Two cutoffs end a pass: all pairs locked, or the maximal partial gain sum
+// has not improved for `idle_swap_limit` (50) swaps. Swaps after the maximal
+// partial sum are rolled back; passes repeat until a pass yields no gain.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace focus::partition {
+
+struct KlConfig {
+  /// Pass ends after this many swaps without improving the max partial sum.
+  std::size_t idle_swap_limit = 50;
+  /// Hard cap on refinement passes.
+  std::size_t max_passes = 8;
+  /// Use the sorted-array + diagonal-scanning pair search (the paper's
+  /// O(n² log n) scheme). When false, falls back to the naive O(n³)-style
+  /// full pair scan per swap — kept for the ablation benchmark.
+  bool diagonal_scanning = true;
+};
+
+/// Refines a bisection (part ids 0/1) in place; returns the final edge cut.
+/// `work` accumulates work units for virtual-time accounting.
+Weight kl_bisection_refine(const graph::Graph& g, std::vector<PartId>& part,
+                           const KlConfig& config = {},
+                           double* work = nullptr);
+
+}  // namespace focus::partition

@@ -1,0 +1,327 @@
+#include "partition/mlpart.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "partition/partition.hpp"
+
+namespace focus::partition {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::GraphHierarchy;
+
+namespace {
+
+// Induced subgraph over `region`; local ids follow region order.
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& region,
+                       double* work) {
+  std::unordered_map<NodeId, NodeId> local;
+  local.reserve(region.size());
+  for (NodeId i = 0; i < region.size(); ++i) {
+    local.emplace(region[i], i);
+  }
+  GraphBuilder builder(region.size());
+  for (NodeId i = 0; i < region.size(); ++i) {
+    builder.set_node_weight(i, g.node_weight(region[i]));
+    for (const graph::Edge& e : g.neighbors(region[i])) {
+      if (work != nullptr) *work += 1.0;
+      if (e.to <= region[i]) continue;  // each edge once
+      const auto it = local.find(e.to);
+      if (it == local.end()) continue;
+      builder.add_edge(i, it->second, e.weight);
+    }
+  }
+  return builder.build();
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xc2b2ae3d27d4eb4fULL);
+  return splitmix64(s);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> bisect_region(const Graph& g,
+                                        const std::vector<NodeId>& region,
+                                        const PartitionerConfig& config,
+                                        std::uint64_t region_seed,
+                                        double* work) {
+  std::vector<std::uint8_t> side(region.size(), 0);
+  if (region.size() < 2) return side;
+
+  const Graph sub = induced_subgraph(g, region, work);
+
+  // Coarsen the region. Coarse-node weight is capped (Karypis & Kumar's
+  // maxvwgt) so the coarsest graph always admits a balanced bisection even
+  // when the input nodes (hybrid read clusters) have very uneven weights.
+  graph::CoarsenConfig cc = config.coarsen;
+  cc.seed = region_seed;
+  cc.max_node_weight = std::max<Weight>(
+      1, 3 * sub.total_node_weight() /
+             (2 * static_cast<Weight>(std::max<std::size_t>(cc.min_nodes, 1))));
+  const GraphHierarchy mini = graph::build_multilevel(sub, cc);
+  if (work != nullptr) {
+    for (const Graph& level : mini.levels) {
+      *work += static_cast<double>(level.edge_count());
+    }
+  }
+
+  // Initial bisection on the coarsest graph.
+  Rng rng(mix_seed(region_seed, 0x600d, 0x5eed));
+  std::vector<PartId> part =
+      greedy_graph_growing(mini.coarsest(), rng, config.ggg, work);
+  kl_bisection_refine(mini.coarsest(), part, config.kl, work);
+
+  // Project and refine down to the region's finest level.
+  for (std::size_t l = mini.depth() - 1; l-- > 0;) {
+    std::vector<PartId> fine(mini.levels[l].node_count());
+    for (NodeId v = 0; v < fine.size(); ++v) {
+      fine[v] = part[mini.parent[l][v]];
+    }
+    part = std::move(fine);
+    kl_bisection_refine(mini.levels[l], part, config.kl, work);
+  }
+
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    side[i] = static_cast<std::uint8_t>(part[i]);
+  }
+  return side;
+}
+
+std::vector<std::vector<PartId>> lift_partition(const GraphHierarchy& h,
+                                                const std::vector<PartId>& finest,
+                                                PartId parts) {
+  const std::size_t depth = h.depth();
+  std::vector<std::vector<PartId>> levels(depth);
+  levels[0] = finest;
+  for (std::size_t l = 1; l < depth; ++l) {
+    const std::size_t n = h.levels[l].node_count();
+    // Majority node-weight vote of the children's parts.
+    std::vector<std::unordered_map<PartId, Weight>> votes(n);
+    const Graph& fine = h.levels[l - 1];
+    for (NodeId v = 0; v < fine.node_count(); ++v) {
+      votes[h.parent[l - 1][v]][levels[l - 1][v]] += fine.node_weight(v);
+    }
+    levels[l].assign(n, kNoPart);
+    for (NodeId v = 0; v < n; ++v) {
+      FOCUS_ASSERT(!votes[v].empty(), "coarse node with no children");
+      PartId best = kNoPart;
+      Weight best_weight = -1;
+      for (PartId p = 0; p < parts; ++p) {
+        const auto it = votes[v].find(p);
+        if (it == votes[v].end()) continue;
+        if (it->second > best_weight) {
+          best = p;
+          best_weight = it->second;
+        }
+      }
+      levels[l][v] = best;
+    }
+  }
+  return levels;
+}
+
+namespace {
+
+// Shared logic: runs the recursive bisection steps. `run_step` executes all
+// regions of one step and returns their side vectors; used by both the
+// serial and the parallel driver so they produce identical partitions.
+template <typename RunStep>
+std::vector<PartId> recursive_bisection(const Graph& g, PartId k,
+                                        RunStep&& run_step) {
+  std::vector<PartId> part(g.node_count(), 0);
+  PartId current_parts = 1;
+  while (current_parts < k) {
+    // Gather regions by current label.
+    std::vector<std::vector<NodeId>> regions(
+        static_cast<std::size_t>(current_parts));
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      regions[static_cast<std::size_t>(part[v])].push_back(v);
+    }
+    const std::vector<std::vector<std::uint8_t>> sides =
+        run_step(regions, current_parts);
+    FOCUS_ASSERT(sides.size() == regions.size(), "bisection step size mismatch");
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      FOCUS_ASSERT(sides[r].size() == regions[r].size(),
+                   "bisection side vector mismatch");
+      for (std::size_t i = 0; i < regions[r].size(); ++i) {
+        if (sides[r][i] != 0) {
+          part[regions[r][i]] =
+              static_cast<PartId>(static_cast<PartId>(r) + current_parts);
+        }
+      }
+    }
+    current_parts *= 2;
+  }
+  return part;
+}
+
+void check_k(PartId k) {
+  FOCUS_CHECK(k >= 1 && (k & (k - 1)) == 0,
+              "partition count must be a power of two (recursive bisection)");
+}
+
+}  // namespace
+
+HierarchyPartitioning partition_hierarchy(const GraphHierarchy& h, PartId k,
+                                          const PartitionerConfig& config) {
+  check_k(k);
+  const Graph& finest = h.finest();
+  double work = 0.0;
+
+  std::uint64_t step_counter = 0;
+  const std::vector<PartId> part = recursive_bisection(
+      finest, k,
+      [&](const std::vector<std::vector<NodeId>>& regions, PartId) {
+        std::vector<std::vector<std::uint8_t>> sides(regions.size());
+        for (std::size_t r = 0; r < regions.size(); ++r) {
+          sides[r] = bisect_region(
+              finest, regions[r], config,
+              mix_seed(config.seed, step_counter, r), &work);
+        }
+        ++step_counter;
+        return sides;
+      });
+
+  HierarchyPartitioning result;
+  result.parts = k;
+  result.levels = lift_partition(h, part, k);
+  if (config.kway_refinement) {
+    for (std::size_t l = 0; l < h.depth(); ++l) {
+      kway_kl_refine(h.levels[l], result.levels[l], k, config.kway, &work);
+    }
+  }
+  result.finest_cut = edge_cut(finest, result.levels[0]);
+  result.work = work;
+  return result;
+}
+
+ParallelPartitionResult partition_hierarchy_parallel(
+    const GraphHierarchy& h, PartId k, const PartitionerConfig& config,
+    int nranks, mpr::CostModel cost) {
+  check_k(k);
+  FOCUS_CHECK(nranks >= 1, "need at least one rank");
+  const Graph& finest = h.finest();
+
+  ParallelPartitionResult out;
+  out.partitioning.parts = k;
+
+  out.stats = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        const int p = comm.size();
+        const Rank me = comm.rank();
+
+        // --- Phase 1: recursive bisection, regions round-robin over ranks.
+        std::uint64_t step_counter = 0;
+        std::vector<PartId> part = recursive_bisection(
+            finest, k,
+            [&](const std::vector<std::vector<NodeId>>& regions, PartId) {
+              std::vector<std::vector<std::uint8_t>> sides(regions.size());
+              // Compute my regions.
+              for (std::size_t r = 0; r < regions.size(); ++r) {
+                if (static_cast<int>(r % static_cast<std::size_t>(p)) != me) {
+                  continue;
+                }
+                double work = 0.0;
+                sides[r] = bisect_region(
+                    finest, regions[r], config,
+                    mix_seed(config.seed, step_counter, r), &work);
+                comm.charge(work);
+              }
+              // Exchange: everyone needs all side vectors before the next
+              // step. Gather to rank 0, then broadcast the full set.
+              mpr::Message local;
+              std::uint32_t mine = 0;
+              for (std::size_t r = 0; r < regions.size(); ++r) {
+                if (static_cast<int>(r % static_cast<std::size_t>(p)) == me) {
+                  ++mine;
+                }
+              }
+              local.pack(mine);
+              for (std::size_t r = 0; r < regions.size(); ++r) {
+                if (static_cast<int>(r % static_cast<std::size_t>(p)) != me) {
+                  continue;
+                }
+                local.pack(static_cast<std::uint32_t>(r));
+                local.pack_vector(sides[r]);
+              }
+              auto gathered = comm.gather(std::move(local), 0);
+              mpr::Message full;
+              if (me == 0) {
+                for (auto& msg : gathered) {
+                  const auto count = msg.unpack<std::uint32_t>();
+                  for (std::uint32_t i = 0; i < count; ++i) {
+                    const auto r = msg.unpack<std::uint32_t>();
+                    sides[r] = msg.unpack_vector<std::uint8_t>();
+                  }
+                }
+                for (std::size_t r = 0; r < regions.size(); ++r) {
+                  full.pack_vector(sides[r]);
+                }
+              }
+              full = comm.broadcast(std::move(full), 0);
+              for (std::size_t r = 0; r < regions.size(); ++r) {
+                sides[r] = full.unpack_vector<std::uint8_t>();
+              }
+              ++step_counter;
+              return sides;
+            });
+
+        // --- Phase 2: lift to all levels (replicated; cheap).
+        {
+          double lift_work = 0.0;
+          for (std::size_t l = 0; l + 1 < h.depth(); ++l) {
+            lift_work += static_cast<double>(h.levels[l].node_count());
+          }
+          comm.charge(lift_work);
+        }
+        auto levels = lift_partition(h, part, k);
+
+        // --- Phase 3: per-level global k-way refinement, levels round-robin
+        // over ranks; refined levels gathered at rank 0.
+        if (config.kway_refinement) {
+          for (std::size_t l = 0; l < h.depth(); ++l) {
+            if (static_cast<int>(l % static_cast<std::size_t>(p)) != me) {
+              continue;
+            }
+            double work = 0.0;
+            kway_kl_refine(h.levels[l], levels[l], k, config.kway, &work);
+            comm.charge(work);
+          }
+        }
+        mpr::Message local;
+        std::uint32_t mine = 0;
+        for (std::size_t l = 0; l < h.depth(); ++l) {
+          if (static_cast<int>(l % static_cast<std::size_t>(p)) == me) ++mine;
+        }
+        local.pack(mine);
+        for (std::size_t l = 0; l < h.depth(); ++l) {
+          if (static_cast<int>(l % static_cast<std::size_t>(p)) != me) continue;
+          local.pack(static_cast<std::uint32_t>(l));
+          local.pack_vector(levels[l]);
+        }
+        auto gathered = comm.gather(std::move(local), 0);
+        if (me == 0) {
+          for (auto& msg : gathered) {
+            const auto count = msg.unpack<std::uint32_t>();
+            for (std::uint32_t i = 0; i < count; ++i) {
+              const auto l = msg.unpack<std::uint32_t>();
+              levels[l] = msg.unpack_vector<PartId>();
+            }
+          }
+          out.partitioning.levels = std::move(levels);
+          out.partitioning.finest_cut =
+              edge_cut(finest, out.partitioning.levels[0]);
+        }
+        comm.barrier();
+      },
+      cost);
+
+  return out;
+}
+
+}  // namespace focus::partition

@@ -1,0 +1,84 @@
+// Multilevel k-way graph partitioning driver (paper §III–IV, §VI-B).
+//
+// Recursive bisection in log2(k) steps: every region is bisected by (a)
+// coarsening its induced subgraph, (b) greedy graph growing on the coarsest
+// graph, (c) Kernighan–Lin refinement projected back down the levels. The
+// 2^i regions of step i are independent — the natural parallelism the paper
+// exploits (§IV-C): with 2^(log2(k)−1) ranks the bisection phase needs only
+// log2(k) steps. Afterwards the partition is lifted to every level of the
+// input hierarchy (majority weight vote over clusters) and each level is
+// independently refined by the global k-way Kernighan–Lin algorithm — the
+// second source of parallelism, bounded by the number of levels. Hence the
+// paper's processor bound max(n_levels, 2^(log2 k − 1)).
+//
+// Feeding the *multilevel* hierarchy here reproduces the paper's naïve
+// baseline (full uncoarsening to G0); feeding the *hybrid* hierarchy
+// reproduces the biology-aware variant whose finest graph G'0 is far
+// smaller.
+#pragma once
+
+#include <vector>
+
+#include "graph/coarsen.hpp"
+#include "mpr/runtime.hpp"
+#include "partition/ggg.hpp"
+#include "partition/kl.hpp"
+#include "partition/kway.hpp"
+
+namespace focus::partition {
+
+struct PartitionerConfig {
+  graph::CoarsenConfig coarsen;  // for per-region re-coarsening
+  GggConfig ggg;
+  KlConfig kl;
+  KwayConfig kway;
+  /// Master seed; every stochastic choice derives from it deterministically.
+  std::uint64_t seed = 42;
+  /// Run the per-level global k-way refinement stage.
+  bool kway_refinement = true;
+};
+
+/// A partition for every level of a GraphHierarchy.
+struct HierarchyPartitioning {
+  std::vector<std::vector<PartId>> levels;  // [l][node] -> part
+  PartId parts = 0;
+  /// Edge cut on the finest level.
+  Weight finest_cut = 0;
+  /// Total sequential work units spent (sum over all tasks).
+  double work = 0.0;
+
+  const std::vector<PartId>& finest() const { return levels.front(); }
+};
+
+/// Bisects the nodes in `region` (ids into `g`) via coarsen + GGG + KL with
+/// projection. Returns one side bit per region entry.
+std::vector<std::uint8_t> bisect_region(const graph::Graph& g,
+                                        const std::vector<NodeId>& region,
+                                        const PartitionerConfig& config,
+                                        std::uint64_t region_seed,
+                                        double* work);
+
+/// Serial reference implementation.
+HierarchyPartitioning partition_hierarchy(const graph::GraphHierarchy& h,
+                                          PartId k,
+                                          const PartitionerConfig& config);
+
+struct ParallelPartitionResult {
+  HierarchyPartitioning partitioning;
+  mpr::RunStats stats;
+};
+
+/// Distributed driver: bisection regions round-robin over ranks per step,
+/// then per-level k-way refinement round-robin over ranks. Produces the
+/// same partitioning as the serial driver for every rank count.
+ParallelPartitionResult partition_hierarchy_parallel(
+    const graph::GraphHierarchy& h, PartId k, const PartitionerConfig& config,
+    int nranks, mpr::CostModel cost = {});
+
+/// Lifts a finest-level partition to every hierarchy level by majority
+/// (node-weight) vote within each cluster.
+std::vector<std::vector<PartId>> lift_partition(
+    const graph::GraphHierarchy& h, const std::vector<PartId>& finest,
+    PartId parts);
+
+}  // namespace focus::partition

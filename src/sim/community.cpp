@@ -1,0 +1,142 @@
+#include "sim/community.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "sim/genome.hpp"
+
+namespace focus::sim {
+
+std::uint64_t Community::total_genome_bases() const {
+  std::uint64_t total = 0;
+  for (const auto& g : genera) total += g.genome.size();
+  return total;
+}
+
+std::vector<double> Community::normalized_abundance() const {
+  double sum = 0.0;
+  for (const auto& g : genera) sum += g.abundance;
+  FOCUS_CHECK(sum > 0.0, "community has zero total abundance");
+  std::vector<double> out;
+  out.reserve(genera.size());
+  for (const auto& g : genera) out.push_back(g.abundance / sum);
+  return out;
+}
+
+std::size_t Community::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < genera.size(); ++i) {
+    if (genera[i].name == name) return i;
+  }
+  FOCUS_THROW("unknown genus: " + name);
+}
+
+std::vector<std::string> Community::phyla() const {
+  std::vector<std::string> out;
+  for (const auto& g : genera) {
+    if (std::find(out.begin(), out.end(), g.phylum) == out.end()) {
+      out.push_back(g.phylum);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct PhylumAncestor {
+  std::string genome;
+  // Non-overlapping [begin, end) conserved windows, sorted by begin.
+  std::vector<std::pair<std::size_t, std::size_t>> conserved;
+};
+
+// Evenly spaced, non-overlapping conserved windows.
+std::vector<std::pair<std::size_t, std::size_t>> place_conserved(
+    std::size_t genome_len, std::size_t count, std::size_t seg_len) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (count == 0 || seg_len == 0 || genome_len < count * seg_len) return out;
+  const std::size_t stride = genome_len / count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t begin = i * stride + (stride - seg_len) / 2;
+    out.emplace_back(begin, begin + seg_len);
+  }
+  return out;
+}
+
+// Derives a genus genome from a phylum ancestor: conserved windows mutate at
+// the (low) conserved rate with no indels; bulk sequence mutates at the genus
+// rate with small indels.
+std::string derive_genus_genome(const PhylumAncestor& ancestor,
+                                const PhylogenyConfig& config, Rng& rng) {
+  MutationConfig bulk;
+  bulk.substitution_rate = config.genus_divergence;
+  bulk.insertion_rate = config.indel_rate;
+  bulk.deletion_rate = config.indel_rate;
+
+  MutationConfig conserved;
+  conserved.substitution_rate = config.conserved_divergence;
+
+  std::string out;
+  out.reserve(ancestor.genome.size());
+  std::size_t cursor = 0;
+  for (const auto& [begin, end] : ancestor.conserved) {
+    if (cursor < begin) {
+      out += mutate_genome(ancestor.genome.substr(cursor, begin - cursor),
+                           bulk, rng);
+    }
+    out += mutate_genome(ancestor.genome.substr(begin, end - begin),
+                         conserved, rng);
+    cursor = end;
+  }
+  if (cursor < ancestor.genome.size()) {
+    out += mutate_genome(ancestor.genome.substr(cursor), bulk, rng);
+  }
+  return out;
+}
+
+}  // namespace
+
+Community build_community(
+    const std::vector<std::tuple<std::string, std::string, double>>& members,
+    const PhylogenyConfig& config, Rng& rng) {
+  FOCUS_CHECK(!members.empty(), "community needs at least one genus");
+  FOCUS_CHECK(config.genome_length >= 1000,
+              "genome length must be at least 1 kbp");
+
+  const std::string root = random_genome(config.genome_length, rng);
+
+  // One ancestor per phylum, in first-appearance order for determinism.
+  std::map<std::string, PhylumAncestor> ancestors;
+  for (const auto& [genus, phylum, abundance] : members) {
+    (void)genus;
+    (void)abundance;
+    if (ancestors.contains(phylum)) continue;
+    MutationConfig mc;
+    mc.substitution_rate = config.phylum_divergence;
+    mc.insertion_rate = config.indel_rate;
+    mc.deletion_rate = config.indel_rate;
+    PhylumAncestor anc;
+    anc.genome = mutate_genome(root, mc, rng);
+    anc.conserved = place_conserved(anc.genome.size(),
+                                    config.conserved_segments,
+                                    config.conserved_length);
+    ancestors.emplace(phylum, std::move(anc));
+  }
+
+  Community community;
+  community.genera.reserve(members.size());
+  for (const auto& [genus, phylum, abundance] : members) {
+    FOCUS_CHECK(abundance > 0.0, "genus abundance must be positive: " + genus);
+    Genus g;
+    g.name = genus;
+    g.phylum = phylum;
+    g.genome = derive_genus_genome(ancestors.at(phylum), config, rng);
+    if (config.repeat_copies > 0) {
+      inject_repeats(g.genome, config.repeat_length, config.repeat_copies, rng);
+    }
+    g.abundance = abundance;
+    community.genera.push_back(std::move(g));
+  }
+  return community;
+}
+
+}  // namespace focus::sim

@@ -1,0 +1,74 @@
+// Microbial community model: a phylogeny of synthetic genera grouped into
+// phyla, with per-genus genomes and abundances.
+//
+// Divergence structure (chosen so the paper's Fig. 7 behaviour can emerge):
+//   * bulk sequence diverges enough between genera (~15 % substitutions by
+//     default) that 100 bp cross-genus overlaps fall below the assembler's
+//     90 % identity gate — genera assemble separately;
+//   * each phylum ancestor carries a handful of *conserved segments*
+//     (16S-rRNA-like) that are copied into every genus of the phylum nearly
+//     verbatim. These create genuine cross-genus overlap edges preferentially
+//     between phylogenetically related genera, which is exactly the signal
+//     that makes related genera co-cluster within graph partitions
+//     (paper §VI-E).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace focus::sim {
+
+struct Genus {
+  std::string name;
+  std::string phylum;
+  std::string genome;
+  /// Relative abundance (need not be normalized).
+  double abundance = 1.0;
+};
+
+struct Community {
+  std::vector<Genus> genera;
+
+  std::size_t size() const { return genera.size(); }
+  std::uint64_t total_genome_bases() const;
+  /// Abundances normalized to sum to 1.
+  std::vector<double> normalized_abundance() const;
+  /// Index of a genus by name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+  /// Distinct phylum names in first-appearance order.
+  std::vector<std::string> phyla() const;
+};
+
+struct PhylogenyConfig {
+  /// Genome length of every genus (approximately preserved through indels).
+  std::size_t genome_length = 20000;
+  /// Substitution divergence between a phylum ancestor and the root ancestor.
+  double phylum_divergence = 0.30;
+  /// Substitution divergence of a genus's bulk (non-conserved) sequence from
+  /// its phylum ancestor. Default keeps 100 bp cross-genus identity well
+  /// below a 90 % overlap-identity threshold.
+  double genus_divergence = 0.15;
+  /// Number and length of conserved segments shared within a phylum.
+  std::size_t conserved_segments = 3;
+  std::size_t conserved_length = 400;
+  /// Residual divergence inside conserved segments.
+  double conserved_divergence = 0.01;
+  /// Small indel rate in bulk sequence at each derivation step.
+  double indel_rate = 0.0005;
+  /// Repeat injection per genus genome.
+  std::size_t repeat_copies = 2;
+  std::size_t repeat_length = 300;
+};
+
+/// Builds a community from (genus, phylum, abundance) triples: one ancestral
+/// genome per phylum derived from a common root, then one genome per genus
+/// derived from its phylum ancestor with conserved segments kept near-intact.
+Community build_community(
+    const std::vector<std::tuple<std::string, std::string, double>>& members,
+    const PhylogenyConfig& config, Rng& rng);
+
+}  // namespace focus::sim

@@ -1,0 +1,85 @@
+#include "sim/datasets.hpp"
+
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace focus::sim {
+
+namespace {
+
+// Genus -> phylum, as in the paper's Fig. 7 discussion. (Acinetobacter is
+// Proteobacteria; the Firmicutes co-clustering of Roseburia / Clostridium /
+// Eubacterium is the paper's worked example.)
+const std::vector<std::pair<std::string, std::string>> kGenera = {
+    {"Alistipes", "Bacteroidetes"},
+    {"Bacteroides", "Bacteroidetes"},
+    {"Prevotella", "Bacteroidetes"},
+    {"Parabacteroides", "Bacteroidetes"},
+    {"Clostridium", "Firmicutes"},
+    {"Eubacterium", "Firmicutes"},
+    {"Faecalibacterium", "Firmicutes"},
+    {"Roseburia", "Firmicutes"},
+    {"Escherichia", "Proteobacteria"},
+    {"Acinetobacter", "Proteobacteria"},
+};
+
+// Per-dataset abundance profiles: three "individuals" with different
+// community structure, echoing the inter-sample variation of the paper's
+// three gut microbiomes (e.g. Bacteroides-dominant vs Prevotella-dominant
+// enterotypes).
+const double kAbundance[3][10] = {
+    // D1: Bacteroides-dominant enterotype.
+    {0.8, 3.0, 0.4, 0.9, 1.2, 0.8, 1.5, 1.0, 0.3, 0.1},
+    // D2: Prevotella-dominant enterotype.
+    {0.5, 0.8, 3.2, 0.6, 1.4, 1.1, 1.8, 1.3, 0.2, 0.1},
+    // D3: Firmicutes-rich profile.
+    {0.6, 1.2, 0.5, 0.5, 2.2, 1.6, 2.4, 1.9, 0.4, 0.2},
+};
+
+const char* kSraAnalog[3] = {"SRR513170", "SRR513441", "SRR061581"};
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& genus_phylum_table() {
+  return kGenera;
+}
+
+int dataset_count() { return 3; }
+
+std::size_t Dataset::read_length() const {
+  return data.reads.empty() ? 0 : data.reads[0].length();
+}
+
+Dataset make_dataset(int index, double scale, double coverage) {
+  FOCUS_CHECK(index >= 1 && index <= dataset_count(),
+              "dataset index must be 1..3");
+  FOCUS_CHECK(scale > 0.0, "scale must be positive");
+
+  PhylogenyConfig phylo;
+  phylo.genome_length =
+      static_cast<std::size_t>(8000.0 * scale);
+
+  std::vector<std::tuple<std::string, std::string, double>> members;
+  members.reserve(kGenera.size());
+  for (std::size_t g = 0; g < kGenera.size(); ++g) {
+    members.emplace_back(kGenera[g].first, kGenera[g].second,
+                         kAbundance[index - 1][g]);
+  }
+
+  // Seeds differ per dataset so the three communities have unrelated root
+  // genomes, like three unrelated human subjects.
+  Rng rng(0xf0c05u + static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ULL);
+
+  Dataset ds;
+  ds.name = "D" + std::to_string(index);
+  ds.sra_analog = kSraAnalog[index - 1];
+  ds.community = build_community(members, phylo, rng);
+
+  SequencerConfig seq;
+  seq.coverage = coverage;
+  ds.data = shotgun_sequence(ds.community, seq, rng);
+  return ds;
+}
+
+}  // namespace focus::sim

@@ -1,0 +1,42 @@
+// Registry of the three benchmark datasets standing in for the paper's three
+// SRA gut-microbiome samples (Table I: SRR513170, SRR513441, SRR061581 —
+// ~5 Gbases each, 100 bp reads).
+//
+// Each dataset is a distinct community composition over the same ten genera
+// the paper analyzes in Fig. 7 (Acinetobacter, Alistipes, Bacteroides,
+// Clostridium, Escherichia, Eubacterium, Faecalibacterium, Parabacteroides,
+// Prevotella, Roseburia), grouped into their real phyla (Bacteroidetes,
+// Firmicutes, Proteobacteria). Sizes are scaled to single-machine budgets;
+// `scale` multiplies genome length.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/community.hpp"
+#include "sim/sequencer.hpp"
+
+namespace focus::sim {
+
+struct Dataset {
+  std::string name;      // "D1", "D2", "D3"
+  std::string sra_analog; // the paper dataset this one stands in for
+  Community community;
+  SimulatedReads data;
+
+  std::uint64_t total_read_bases() const { return data.reads.total_bases(); }
+  std::size_t read_length() const;
+};
+
+/// Number of registered datasets (3, matching the paper).
+int dataset_count();
+
+/// Builds dataset `index` (1-based, 1..3). `scale` multiplies the default
+/// per-genus genome length (default 8 kbp at scale 1); `coverage` is the mean
+/// read depth. Fully deterministic per (index, scale, coverage).
+Dataset make_dataset(int index, double scale = 1.0, double coverage = 15.0);
+
+/// The ten Fig. 7 genera with their phylum assignments.
+const std::vector<std::pair<std::string, std::string>>& genus_phylum_table();
+
+}  // namespace focus::sim

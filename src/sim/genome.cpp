@@ -1,0 +1,69 @@
+#include "sim/genome.hpp"
+
+#include <algorithm>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+
+namespace focus::sim {
+
+std::string random_genome(std::size_t length, Rng& rng) {
+  std::string g(length, 'A');
+  for (auto& c : g) {
+    c = dna::decode_base(static_cast<std::uint8_t>(rng.next_below(4)));
+  }
+  return g;
+}
+
+void inject_repeats(std::string& genome, std::size_t repeat_len,
+                    std::size_t copies, Rng& rng) {
+  FOCUS_CHECK(repeat_len > 0, "repeat length must be positive");
+  if (genome.size() < 2 * repeat_len || copies == 0) return;
+  const auto src =
+      static_cast<std::size_t>(rng.next_below(genome.size() - repeat_len + 1));
+  const std::string repeat = genome.substr(src, repeat_len);
+  for (std::size_t i = 0; i < copies; ++i) {
+    const auto dst = static_cast<std::size_t>(
+        rng.next_below(genome.size() - repeat_len + 1));
+    std::copy(repeat.begin(), repeat.end(), genome.begin() + static_cast<std::ptrdiff_t>(dst));
+  }
+}
+
+std::string mutate_genome(const std::string& genome,
+                          const MutationConfig& config, Rng& rng) {
+  std::string out;
+  out.reserve(genome.size() + genome.size() / 16);
+  for (char c : genome) {
+    if (config.deletion_rate > 0.0 && rng.next_bool(config.deletion_rate)) {
+      continue;
+    }
+    if (config.substitution_rate > 0.0 &&
+        rng.next_bool(config.substitution_rate)) {
+      // Substitute with one of the three other bases.
+      const auto cur = dna::encode_base(c);
+      const auto alt = (cur + 1 + rng.next_below(3)) % 4;
+      out.push_back(dna::decode_base(static_cast<std::uint8_t>(alt)));
+    } else {
+      out.push_back(c);
+    }
+    if (config.insertion_rate > 0.0 && rng.next_bool(config.insertion_rate)) {
+      const auto len = 1 + rng.next_below(config.max_indel_len);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        out.push_back(dna::decode_base(static_cast<std::uint8_t>(rng.next_below(4))));
+      }
+    }
+  }
+  return out;
+}
+
+double approximate_identity(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  std::size_t match = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(n);
+}
+
+}  // namespace focus::sim

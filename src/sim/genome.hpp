@@ -1,0 +1,41 @@
+// Synthetic genome generation: random sequences, repeat injection, and
+// phylogeny-style mutation. These provide the ground-truth substrate that the
+// paper obtained from real gut-microbiome samples.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace focus::sim {
+
+/// Uniform random ACGT sequence of the given length.
+std::string random_genome(std::size_t length, Rng& rng);
+
+/// Copies `copies` instances of a randomly chosen segment of length
+/// `repeat_len` to random positions (overwriting), creating the repetitive
+/// regions that stress assembly graphs (paper §II-D motivates these).
+void inject_repeats(std::string& genome, std::size_t repeat_len,
+                    std::size_t copies, Rng& rng);
+
+struct MutationConfig {
+  /// Per-base substitution probability.
+  double substitution_rate = 0.0;
+  /// Per-base probability of starting a short insertion.
+  double insertion_rate = 0.0;
+  /// Per-base probability of deleting the base.
+  double deletion_rate = 0.0;
+  /// Maximum length of a single insertion event.
+  std::size_t max_indel_len = 3;
+};
+
+/// Derives a mutated copy of `genome` (used to create related genera whose
+/// shared sequence makes their reads co-cluster, paper §VI-E).
+std::string mutate_genome(const std::string& genome,
+                          const MutationConfig& config, Rng& rng);
+
+/// Hamming-style identity between two sequences compared over the shorter
+/// length (cheap relatedness probe for tests).
+double approximate_identity(const std::string& a, const std::string& b);
+
+}  // namespace focus::sim

@@ -1,0 +1,99 @@
+#include "sim/sequencer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+
+namespace focus::sim {
+
+namespace {
+
+char phred33(double q) {
+  const double clamped = std::clamp(q, 2.0, 41.0);
+  return static_cast<char>('!' + static_cast<int>(std::lround(clamped)));
+}
+
+}  // namespace
+
+SimulatedReads shotgun_sequence(const Community& community,
+                                const SequencerConfig& config, Rng& rng) {
+  FOCUS_CHECK(config.read_length >= 20, "read length must be at least 20");
+  FOCUS_CHECK(config.coverage > 0.0, "coverage must be positive");
+  for (const auto& g : community.genera) {
+    FOCUS_CHECK(g.genome.size() >= config.read_length,
+                "genome shorter than read length: " + g.name);
+  }
+
+  const std::uint64_t total_bases = community.total_genome_bases();
+  const auto read_count = static_cast<std::size_t>(
+      config.coverage * static_cast<double>(total_bases) /
+      static_cast<double>(config.read_length));
+  const std::vector<double> abundance = community.normalized_abundance();
+
+  // Cumulative abundance for genus sampling.
+  std::vector<double> cumulative(abundance.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < abundance.size(); ++i) {
+    acc += abundance[i];
+    cumulative[i] = acc;
+  }
+  cumulative.back() = 1.0;
+
+  SimulatedReads out;
+  out.reads.reserve(read_count);
+  out.provenance.reserve(read_count);
+
+  const std::size_t L = config.read_length;
+  for (std::size_t n = 0; n < read_count; ++n) {
+    // Genus by abundance.
+    const double u = rng.next_real();
+    const std::size_t genus = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    const std::string& genome = community.genera[genus].genome;
+
+    const auto pos =
+        static_cast<std::uint64_t>(rng.next_below(genome.size() - L + 1));
+    const bool reverse = rng.next_bool(0.5);
+
+    std::string fragment = genome.substr(pos, L);
+    if (reverse) fragment = dna::reverse_complement(fragment);
+
+    const bool bad_tail = rng.next_bool(config.bad_tail_fraction);
+    const std::size_t tail_start =
+        bad_tail && L > config.bad_tail_length ? L - config.bad_tail_length : L;
+
+    std::string qual(L, '!');
+    for (std::size_t i = 0; i < L; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(L - 1);
+      double err = config.error_rate_5p +
+                   t * (config.error_rate_3p - config.error_rate_5p);
+      double q = config.quality_5p + t * (config.quality_3p - config.quality_5p);
+      if (i >= tail_start) {
+        err = 0.25;  // effectively random base calls in a degraded tail
+        q = 4.0;
+      }
+      // Quality jitter of +-2.
+      q += static_cast<double>(rng.next_in(-2, 2));
+      qual[i] = phred33(q);
+      if (rng.next_bool(err)) {
+        const auto cur = dna::encode_base(fragment[i]);
+        const auto alt = (cur + 1 + rng.next_below(3)) % 4;
+        fragment[i] = dna::decode_base(static_cast<std::uint8_t>(alt));
+      }
+    }
+
+    io::Read read;
+    read.name = "r" + std::to_string(n);
+    read.seq = std::move(fragment);
+    read.qual = std::move(qual);
+    out.reads.add(std::move(read));
+    out.provenance.push_back(ReadProvenance{
+        static_cast<std::uint32_t>(genus), pos, reverse});
+  }
+  return out;
+}
+
+}  // namespace focus::sim

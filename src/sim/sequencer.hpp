@@ -1,0 +1,58 @@
+// Shotgun read simulator: Illumina-style fixed-length reads with a 3'-degrading
+// quality profile and substitution errors, sampled from a Community with
+// exact provenance tracking (genus, genome position, strand).
+//
+// Provenance is what the paper had to reconstruct with BWA against a
+// reference database (§VI-E); the simulator provides it as ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "io/read.hpp"
+#include "sim/community.hpp"
+
+namespace focus::sim {
+
+struct SequencerConfig {
+  /// Read length before any low-quality tail (bases).
+  std::size_t read_length = 100;
+  /// Mean sequencing depth over the community's genomes.
+  double coverage = 15.0;
+  /// Baseline per-base substitution error probability at the 5' end.
+  double error_rate_5p = 0.002;
+  /// Per-base substitution error probability at the 3' end (errors grow
+  /// linearly along the read, as on real Illumina machines).
+  double error_rate_3p = 0.02;
+  /// Phred quality at the 5' end and at the 3' end (linear decline + noise).
+  double quality_5p = 38.0;
+  double quality_3p = 22.0;
+  /// Fraction of reads given a severely degraded 3' tail (exercises the
+  /// quality trimmer).
+  double bad_tail_fraction = 0.05;
+  std::size_t bad_tail_length = 20;
+};
+
+/// Where a simulated read truly came from.
+struct ReadProvenance {
+  std::uint32_t genus = 0;
+  std::uint64_t position = 0;  // 0-based offset of the read's 5'-most base
+                               // on the forward genome strand
+  bool reverse_strand = false; // read sampled from the reverse strand
+};
+
+struct SimulatedReads {
+  io::ReadSet reads;
+  std::vector<ReadProvenance> provenance;  // parallel to `reads`
+
+  std::size_t size() const { return reads.size(); }
+};
+
+/// Samples shotgun reads from the community: the source genus is drawn by
+/// abundance, position uniformly, strand uniformly. Read names encode an
+/// index ("r<N>"); provenance is returned separately.
+SimulatedReads shotgun_sequence(const Community& community,
+                                const SequencerConfig& config, Rng& rng);
+
+}  // namespace focus::sim

@@ -1,0 +1,444 @@
+// Tests for the alignment substrate: suffix array, banded Needleman–Wunsch,
+// and overlap detection/classification (paper §II-B).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/banded_nw.hpp"
+#include "align/overlap.hpp"
+#include "align/overlapper.hpp"
+#include "align/suffix_array.hpp"
+#include "common/dna.hpp"
+#include "common/rng.hpp"
+
+namespace focus::align {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Suffix array
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> naive_suffix_array(const std::string& text) {
+  std::vector<std::uint32_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0u);
+  std::sort(sa.begin(), sa.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return text.substr(a) < text.substr(b);
+  });
+  return sa;
+}
+
+TEST(SuffixArray, EmptyAndSingle) {
+  SuffixArray empty("");
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.count("A"), 0u);
+
+  SuffixArray one("G");
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.at(0), 0u);
+  EXPECT_EQ(one.count("G"), 1u);
+  EXPECT_EQ(one.count("C"), 0u);
+}
+
+TEST(SuffixArray, KnownExample) {
+  // banana-style classic on DNA alphabet.
+  const std::string text = "GATAGACA";
+  SuffixArray sa(text);
+  const auto expected = naive_suffix_array(text);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    EXPECT_EQ(sa.at(i), expected[i]) << "index " << i;
+  }
+}
+
+TEST(SuffixArray, RepetitiveText) {
+  const std::string text(64, 'A');
+  SuffixArray sa(text);
+  const auto expected = naive_suffix_array(text);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    EXPECT_EQ(sa.at(i), expected[i]);
+  }
+  EXPECT_EQ(sa.count("AAAA"), 61u);
+}
+
+class SuffixArrayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SuffixArrayProperty, MatchesNaiveConstruction) {
+  Rng rng(GetParam());
+  const auto len = 1 + rng.next_below(300);
+  std::string text;
+  for (std::uint64_t i = 0; i < len; ++i) {
+    text.push_back("ACGT\x01"[rng.next_below(5)]);  // includes separators
+  }
+  SuffixArray sa(text);
+  const auto expected = naive_suffix_array(text);
+  ASSERT_EQ(sa.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(sa.at(i), expected[i]) << "seed " << GetParam() << " index " << i;
+  }
+}
+
+TEST_P(SuffixArrayProperty, FindLocatesAllOccurrences) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::string text;
+  for (int i = 0; i < 400; ++i) {
+    text.push_back("ACGT"[rng.next_below(4)]);
+  }
+  SuffixArray sa(text);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto plen = 1 + rng.next_below(8);
+    const auto pos = rng.next_below(text.size() - plen);
+    const std::string pattern = text.substr(pos, plen);
+    // Reference count by scanning.
+    std::vector<std::uint32_t> expected;
+    for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+      if (text.compare(i, pattern.size(), pattern) == 0) {
+        expected.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(sa.locate(pattern), expected) << "pattern " << pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuffixArrayProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(SuffixArray, AbsentPatternNotFound) {
+  SuffixArray sa("ACGTACGT");
+  EXPECT_EQ(sa.count("TTT"), 0u);
+  EXPECT_TRUE(sa.locate("GGG").empty());
+}
+
+TEST(SuffixArray, PatternLongerThanText) {
+  SuffixArray sa("ACG");
+  EXPECT_EQ(sa.count("ACGT"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Banded Needleman–Wunsch
+// ---------------------------------------------------------------------------
+
+TEST(BandedNw, IdenticalSequences) {
+  const auto r = banded_global_align("ACGTACGT", "ACGTACGT", 4);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.columns, 8u);
+  EXPECT_EQ(r.matches, 8u);
+  EXPECT_EQ(r.mismatches, 0u);
+  EXPECT_EQ(r.gaps, 0u);
+  EXPECT_DOUBLE_EQ(r.identity(), 1.0);
+}
+
+TEST(BandedNw, SingleSubstitution) {
+  const auto r = banded_global_align("ACGTACGT", "ACGAACGT", 4);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.columns, 8u);
+  EXPECT_EQ(r.matches, 7u);
+  EXPECT_EQ(r.mismatches, 1u);
+  EXPECT_DOUBLE_EQ(r.identity(), 7.0 / 8.0);
+}
+
+TEST(BandedNw, SingleInsertion) {
+  const auto r = banded_global_align("ACGTACGT", "ACGTTACGT", 4);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.columns, 9u);
+  EXPECT_EQ(r.matches, 8u);
+  EXPECT_EQ(r.gaps, 1u);
+}
+
+TEST(BandedNw, EmptySequences) {
+  const auto r = banded_global_align("", "", 2);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.columns, 0u);
+
+  const auto r2 = banded_global_align("ACG", "", 2);
+  ASSERT_TRUE(r2.valid);
+  EXPECT_EQ(r2.columns, 3u);
+  EXPECT_EQ(r2.gaps, 3u);
+}
+
+TEST(BandedNw, LargeLengthDifferenceHandledBySkew) {
+  const std::string a = "ACGTACGTACGTACGTACGT";
+  const std::string b = a.substr(0, 10);
+  const auto r = banded_global_align(a, b, 2);
+  ASSERT_TRUE(r.valid);  // skew-adjusted band always connects corners
+  EXPECT_EQ(r.gaps, 10u);
+}
+
+TEST(BandedNw, ScoreMatchesCountsUnderScoring) {
+  AlignScoring scoring;
+  const auto r = banded_global_align("ACGTACGT", "ACCTACGT", 4, scoring);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.score, static_cast<std::int32_t>(r.matches) * scoring.match +
+                         static_cast<std::int32_t>(r.mismatches) *
+                             scoring.mismatch +
+                         static_cast<std::int32_t>(r.gaps) * scoring.gap);
+}
+
+class BandedNwProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandedNwProperty, AgreesWithWideBandOnNoisyPairs) {
+  // A band of width >= the true number of indels must recover the same score
+  // as an effectively-unbounded band.
+  Rng rng(GetParam());
+  std::string a;
+  for (int i = 0; i < 120; ++i) a.push_back("ACGT"[rng.next_below(4)]);
+  std::string b;
+  for (const char c : a) {
+    if (rng.next_bool(0.02)) continue;              // deletion
+    b.push_back(rng.next_bool(0.05)
+                    ? "ACGT"[rng.next_below(4)]     // substitution
+                    : c);
+    if (rng.next_bool(0.02)) b.push_back("ACGT"[rng.next_below(4)]);
+  }
+  const auto wide = banded_global_align(a, b, 120);
+  const auto banded = banded_global_align(a, b, 16);
+  ASSERT_TRUE(wide.valid);
+  ASSERT_TRUE(banded.valid);
+  EXPECT_EQ(banded.score, wide.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedNwProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(BandedNw, WorkEstimateScalesWithBandAndLength) {
+  EXPECT_GT(banded_align_work(100, 100, 16), banded_align_work(100, 100, 4));
+  EXPECT_GT(banded_align_work(200, 200, 8), banded_align_work(100, 100, 8));
+}
+
+// ---------------------------------------------------------------------------
+// Overlap records
+// ---------------------------------------------------------------------------
+
+TEST(OverlapRecord, FlipSwapsPerspective) {
+  Overlap o;
+  o.query = 3;
+  o.ref = 7;
+  o.length = 55;
+  o.identity = 0.97f;
+  o.kind = OverlapKind::kSuffixPrefix;
+  const Overlap f = flipped(o);
+  EXPECT_EQ(f.query, 7u);
+  EXPECT_EQ(f.ref, 3u);
+  EXPECT_EQ(f.kind, OverlapKind::kPrefixSuffix);
+  EXPECT_EQ(f.length, 55u);
+
+  Overlap c;
+  c.query = 2;
+  c.ref = 9;
+  c.kind = OverlapKind::kQueryContained;
+  EXPECT_EQ(flipped(c).kind, OverlapKind::kRefContained);
+}
+
+TEST(OverlapRecord, CanonicalizeOrdersIds) {
+  Overlap o;
+  o.query = 9;
+  o.ref = 2;
+  o.kind = OverlapKind::kSuffixPrefix;
+  const Overlap c = canonicalized(o);
+  EXPECT_EQ(c.query, 2u);
+  EXPECT_EQ(c.ref, 9u);
+  EXPECT_EQ(c.kind, OverlapKind::kPrefixSuffix);
+  // Already canonical stays put.
+  EXPECT_EQ(canonicalized(c).query, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Overlap detection
+// ---------------------------------------------------------------------------
+
+// Builds a read set by cutting windows from a random genome; returns reads
+// plus their true positions.
+struct TestReads {
+  io::ReadSet reads;
+  std::vector<std::size_t> position;
+  std::string genome;
+};
+
+TestReads windows_from_genome(std::uint64_t seed, std::size_t genome_len,
+                              const std::vector<std::size_t>& starts,
+                              std::size_t read_len) {
+  Rng rng(seed);
+  TestReads t;
+  for (std::size_t i = 0; i < genome_len; ++i) {
+    t.genome.push_back("ACGT"[rng.next_below(4)]);
+  }
+  for (const auto start : starts) {
+    io::Read r;
+    r.name = "w" + std::to_string(start);
+    r.seq = t.genome.substr(start, read_len);
+    t.reads.add(std::move(r));
+    t.position.push_back(start);
+  }
+  return t;
+}
+
+OverlapperConfig small_config() {
+  OverlapperConfig cfg;
+  cfg.k = 12;
+  cfg.min_kmer_hits = 3;
+  cfg.min_overlap = 30;
+  cfg.min_identity = 0.9;
+  cfg.subsets = 2;
+  return cfg;
+}
+
+TEST(Overlapper, DetectsDovetailOverlap) {
+  // Two 100 bp reads overlapping by 60 bp.
+  const auto t = windows_from_genome(101, 300, {0, 40}, 100);
+  const auto overlaps = find_overlaps_serial(t.reads, small_config());
+  ASSERT_EQ(overlaps.size(), 1u);
+  const Overlap& o = overlaps[0];
+  EXPECT_EQ(o.length, 60u);
+  EXPECT_FLOAT_EQ(o.identity, 1.0f);
+  // Canonical: query 0 (earlier read), ref 1; read 0's suffix meets read 1's
+  // prefix.
+  EXPECT_EQ(o.query, 0u);
+  EXPECT_EQ(o.ref, 1u);
+  EXPECT_EQ(o.kind, OverlapKind::kSuffixPrefix);
+}
+
+TEST(Overlapper, DetectsContainment) {
+  Rng rng(202);
+  std::string genome;
+  for (int i = 0; i < 300; ++i) genome.push_back("ACGT"[rng.next_below(4)]);
+  io::ReadSet reads;
+  reads.add(io::Read{"big", genome.substr(0, 150), "", kInvalidRead, false});
+  reads.add(io::Read{"small", genome.substr(30, 60), "", kInvalidRead, false});
+  const auto overlaps = find_overlaps_serial(reads, small_config());
+  ASSERT_EQ(overlaps.size(), 1u);
+  // Canonical form: query = 0 = big; the contained read is ref (read 1).
+  EXPECT_EQ(overlaps[0].kind, OverlapKind::kRefContained);
+  EXPECT_GE(overlaps[0].length, 58u);
+}
+
+TEST(Overlapper, RejectsShortOverlap) {
+  // Overlap of 20 bp < min_overlap 30.
+  const auto t = windows_from_genome(103, 300, {0, 80}, 100);
+  const auto overlaps = find_overlaps_serial(t.reads, small_config());
+  EXPECT_TRUE(overlaps.empty());
+}
+
+TEST(Overlapper, RejectsLowIdentity) {
+  auto t = windows_from_genome(104, 300, {0, 40}, 100);
+  // Corrupt the overlap region of read 1 heavily (every 4th base).
+  io::Read corrupted = t.reads[1];
+  for (std::size_t i = 0; i < 60; i += 4) {
+    corrupted.seq[i] = dna::complement(corrupted.seq[i]);
+  }
+  io::ReadSet reads;
+  reads.add(t.reads[0]);
+  reads.add(std::move(corrupted));
+  const auto overlaps = find_overlaps_serial(reads, small_config());
+  EXPECT_TRUE(overlaps.empty());
+}
+
+TEST(Overlapper, ToleratesSequencingErrorsWithinThreshold) {
+  auto t = windows_from_genome(105, 300, {0, 40}, 100);
+  io::Read noisy = t.reads[1];
+  // 3 substitutions in a 60 bp overlap -> 95% identity.
+  noisy.seq[10] = dna::complement(noisy.seq[10]);
+  noisy.seq[30] = dna::complement(noisy.seq[30]);
+  noisy.seq[50] = dna::complement(noisy.seq[50]);
+  io::ReadSet reads;
+  reads.add(t.reads[0]);
+  reads.add(std::move(noisy));
+  const auto overlaps = find_overlaps_serial(reads, small_config());
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_GE(overlaps[0].identity, 0.94f);
+  EXPECT_LT(overlaps[0].identity, 1.0f);
+}
+
+TEST(Overlapper, ChainOfReadsYieldsChainOfOverlaps) {
+  const auto t =
+      windows_from_genome(106, 500, {0, 50, 100, 150, 200}, 100);
+  const auto overlaps = find_overlaps_serial(t.reads, small_config());
+  // Adjacent pairs overlap by 50; next-nearest by 0 (exactly abutting).
+  ASSERT_EQ(overlaps.size(), 4u);
+  for (const auto& o : overlaps) {
+    EXPECT_EQ(o.ref, o.query + 1);
+    EXPECT_EQ(o.length, 50u);
+  }
+}
+
+TEST(Overlapper, NoFalseOverlapsBetweenUnrelatedReads) {
+  Rng rng(303);
+  io::ReadSet reads;
+  for (int i = 0; i < 6; ++i) {
+    std::string seq;
+    for (int j = 0; j < 100; ++j) seq.push_back("ACGT"[rng.next_below(4)]);
+    reads.add(io::Read{"u" + std::to_string(i), seq, "", kInvalidRead, false});
+  }
+  EXPECT_TRUE(find_overlaps_serial(reads, small_config()).empty());
+}
+
+TEST(Overlapper, SkipsKmersWithAmbiguousBases) {
+  auto t = windows_from_genome(107, 300, {0, 40}, 100);
+  io::Read with_n = t.reads[1];
+  with_n.seq[5] = 'N';
+  io::ReadSet reads;
+  reads.add(t.reads[0]);
+  reads.add(std::move(with_n));
+  // Still detected: plenty of clean k-mers remain.
+  EXPECT_EQ(find_overlaps_serial(reads, small_config()).size(), 1u);
+}
+
+class ParallelOverlapEquivalence
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelOverlapEquivalence, MatchesSerialForAnyRankCount) {
+  const auto t = windows_from_genome(
+      108, 900, {0, 60, 120, 180, 240, 300, 360, 420, 480, 540, 600, 660},
+      100);
+  OverlapperConfig cfg = small_config();
+  cfg.subsets = 3;
+  const auto serial = find_overlaps_serial(t.reads, cfg);
+  const auto parallel = find_overlaps_parallel(t.reads, cfg, GetParam());
+  ASSERT_EQ(parallel.overlaps.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel.overlaps[i].query, serial[i].query);
+    EXPECT_EQ(parallel.overlaps[i].ref, serial[i].ref);
+    EXPECT_EQ(parallel.overlaps[i].length, serial[i].length);
+    EXPECT_EQ(parallel.overlaps[i].kind, serial[i].kind);
+  }
+  EXPECT_GT(parallel.stats.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelOverlapEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Overlapper, DedupeKeepsLongest) {
+  std::vector<Overlap> dup;
+  Overlap a;
+  a.query = 1;
+  a.ref = 2;
+  a.length = 50;
+  a.kind = OverlapKind::kSuffixPrefix;
+  Overlap b = flipped(a);
+  b.length = 70;  // same pair, longer record, flipped orientation
+  dup.push_back(a);
+  dup.push_back(b);
+  const auto out = dedupe_overlaps(dup);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].length, 70u);
+  EXPECT_EQ(out[0].query, 1u);
+}
+
+TEST(Overlapper, ReadsShorterThanKAreSkipped) {
+  io::ReadSet reads;
+  reads.add(io::Read{"tiny", "ACGT", "", kInvalidRead, false});
+  reads.add(io::Read{"tiny2", "ACGT", "", kInvalidRead, false});
+  OverlapperConfig cfg = small_config();
+  EXPECT_TRUE(find_overlaps_serial(reads, cfg).empty());
+}
+
+TEST(RefIndex, ResolvesPositionsToReads) {
+  io::ReadSet reads;
+  reads.add(io::Read{"a", "AAAA", "", kInvalidRead, false});
+  reads.add(io::Read{"b", "CCCC", "", kInvalidRead, false});
+  RefIndex index(reads, {0, 1});
+  EXPECT_EQ(index.resolve(0).first, 0u);
+  EXPECT_EQ(index.resolve(3).second, 3u);
+  EXPECT_EQ(index.resolve(5).first, 1u);
+  EXPECT_EQ(index.resolve(5).second, 0u);
+}
+
+}  // namespace
+}  // namespace focus::align

@@ -1,0 +1,98 @@
+// Tests for the string-graph baseline assembler.
+#include <gtest/gtest.h>
+
+#include "align/overlapper.hpp"
+#include "baseline/string_graph_assembler.hpp"
+#include "common/dna.hpp"
+#include "common/rng.hpp"
+#include "io/preprocess.hpp"
+#include "sim/community.hpp"
+#include "sim/genome.hpp"
+#include "sim/sequencer.hpp"
+
+namespace focus::baseline {
+namespace {
+
+struct SingleGenomeFixture {
+  std::string genome;
+  io::ReadSet reads;  // preprocessed (with rc)
+  std::vector<align::Overlap> overlaps;
+
+  explicit SingleGenomeFixture(std::uint64_t seed, std::size_t genome_len = 3000,
+                               double coverage = 12.0) {
+    Rng rng(seed);
+    sim::PhylogenyConfig pc;
+    pc.genome_length = genome_len;
+    pc.repeat_copies = 0;
+    pc.conserved_segments = 0;
+    const auto community = sim::build_community({{"G", "P", 1.0}}, pc, rng);
+    genome = community.genera[0].genome;
+    sim::SequencerConfig sc;
+    sc.coverage = coverage;
+    sc.error_rate_5p = 0.0;
+    sc.error_rate_3p = 0.0;
+    sc.bad_tail_fraction = 0.0;
+    const auto sim_reads = sim::shotgun_sequence(community, sc, rng);
+    io::PreprocessConfig prep;
+    reads = io::preprocess(sim_reads.reads, prep);
+    align::OverlapperConfig ocfg;
+    ocfg.k = 14;
+    ocfg.min_overlap = 40;
+    ocfg.subsets = 2;
+    overlaps = align::find_overlaps_serial(reads, ocfg);
+  }
+};
+
+TEST(Baseline, AssemblesSingleGenome) {
+  SingleGenomeFixture fx(1);
+  const auto result = assemble_string_graph(fx.reads, fx.overlaps);
+  ASSERT_FALSE(result.contigs.empty());
+  EXPECT_GT(result.transitive_removed, 0u);
+  EXPECT_GT(result.contained_reads, 0u);
+  // Every contig is a true substring of the genome (error-free reads).
+  for (const auto& contig : result.contigs) {
+    const std::string rc = dna::reverse_complement(contig);
+    EXPECT_TRUE(fx.genome.find(contig) != std::string::npos ||
+                fx.genome.find(rc) != std::string::npos)
+        << "chimeric contig of length " << contig.size();
+  }
+  // Long contigs: the baseline should reconstruct substantial stretches.
+  EXPECT_GT(result.contigs[0].size(), 500u);
+}
+
+TEST(Baseline, EmptyOverlapsGiveSingletonReads) {
+  Rng rng(2);
+  io::ReadSet reads;
+  for (int i = 0; i < 5; ++i) {
+    reads.add(io::Read{"r" + std::to_string(i), sim::random_genome(200, rng),
+                       "", kInvalidRead, false});
+  }
+  StringGraphConfig cfg;
+  cfg.min_contig_length = 100;
+  cfg.dedupe = false;
+  const auto result = assemble_string_graph(reads, {}, cfg);
+  EXPECT_EQ(result.contigs.size(), 5u);
+  EXPECT_EQ(result.transitive_removed, 0u);
+}
+
+TEST(Baseline, ReportsGraphSizes) {
+  SingleGenomeFixture fx(3);
+  const auto result = assemble_string_graph(fx.reads, fx.overlaps);
+  EXPECT_GT(result.graph_nodes, 0u);
+  EXPECT_GT(result.graph_edges, 0u);
+  EXPECT_LE(result.graph_nodes, fx.reads.size());
+  EXPECT_GT(result.work, 0.0);
+}
+
+TEST(Baseline, DeterministicAcrossRuns) {
+  SingleGenomeFixture fx(4);
+  const auto a = assemble_string_graph(fx.reads, fx.overlaps);
+  const auto b = assemble_string_graph(fx.reads, fx.overlaps);
+  ASSERT_EQ(a.contigs.size(), b.contigs.size());
+  for (std::size_t i = 0; i < a.contigs.size(); ++i) {
+    EXPECT_EQ(a.contigs[i], b.contigs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace focus::baseline

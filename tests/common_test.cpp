@@ -1,0 +1,351 @@
+// Unit and property tests for src/common: rng, dna, indexed heap, stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+#include "common/indexed_heap.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace focus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differences;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextRealInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = rng.next_real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(19);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.next_bool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(23);
+  const auto p = rng.permutation(100);
+  std::set<std::uint32_t> values(p.begin(), p.end());
+  EXPECT_EQ(values.size(), 100u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 99u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(29);
+  std::vector<int> v{1, 1, 2, 3, 5, 8, 13};
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// dna
+// ---------------------------------------------------------------------------
+
+TEST(Dna, IsBase) {
+  EXPECT_TRUE(dna::is_base('A'));
+  EXPECT_TRUE(dna::is_base('C'));
+  EXPECT_TRUE(dna::is_base('G'));
+  EXPECT_TRUE(dna::is_base('T'));
+  EXPECT_FALSE(dna::is_base('N'));
+  EXPECT_FALSE(dna::is_base('a'));
+  EXPECT_FALSE(dna::is_base('X'));
+  EXPECT_FALSE(dna::is_base('\0'));
+}
+
+TEST(Dna, Complement) {
+  EXPECT_EQ(dna::complement('A'), 'T');
+  EXPECT_EQ(dna::complement('T'), 'A');
+  EXPECT_EQ(dna::complement('C'), 'G');
+  EXPECT_EQ(dna::complement('G'), 'C');
+  EXPECT_EQ(dna::complement('N'), 'N');
+  EXPECT_EQ(dna::complement('q'), 'N');
+}
+
+TEST(Dna, ReverseComplement) {
+  EXPECT_EQ(dna::reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(dna::reverse_complement("AAAC"), "GTTT");
+  EXPECT_EQ(dna::reverse_complement(""), "");
+  EXPECT_EQ(dna::reverse_complement("AN"), "NT");
+}
+
+TEST(Dna, ReverseComplementIsInvolution) {
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s;
+    for (int i = 0; i < 50; ++i) {
+      s.push_back(dna::decode_base(static_cast<std::uint8_t>(rng.next_below(4))));
+    }
+    EXPECT_EQ(dna::reverse_complement(dna::reverse_complement(s)), s);
+  }
+}
+
+TEST(Dna, Canonicalize) {
+  EXPECT_EQ(dna::canonicalize("acgt"), "ACGT");
+  EXPECT_EQ(dna::canonicalize("A-C*T"), "ANCNT");
+}
+
+TEST(Dna, IsClean) {
+  EXPECT_TRUE(dna::is_clean("ACGT"));
+  EXPECT_TRUE(dna::is_clean(""));
+  EXPECT_FALSE(dna::is_clean("ACGN"));
+}
+
+TEST(Dna, EncodeDecodeRoundTrip) {
+  for (const char c : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(dna::decode_base(dna::encode_base(c)), c);
+  }
+}
+
+TEST(Dna, PackKmer) {
+  std::uint64_t kmer = 0;
+  ASSERT_TRUE(dna::pack_kmer("ACGT", 0, 4, kmer));
+  // A=0 C=1 G=2 T=3 -> 0b00011011
+  EXPECT_EQ(kmer, 0b00011011u);
+  EXPECT_FALSE(dna::pack_kmer("ACGT", 1, 4, kmer));  // out of range
+  EXPECT_FALSE(dna::pack_kmer("ACNT", 0, 4, kmer));  // ambiguous base
+  ASSERT_TRUE(dna::pack_kmer("ACGT", 2, 2, kmer));
+  EXPECT_EQ(kmer, 0b1011u);
+}
+
+TEST(Dna, Identity) {
+  EXPECT_DOUBLE_EQ(dna::identity("ACGT", "ACGT"), 1.0);
+  EXPECT_DOUBLE_EQ(dna::identity("ACGT", "ACGA"), 0.75);
+  EXPECT_DOUBLE_EQ(dna::identity("", ""), 1.0);
+  EXPECT_THROW(dna::identity("A", "AB"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// IndexedMaxHeap
+// ---------------------------------------------------------------------------
+
+TEST(IndexedMaxHeap, BasicPushPop) {
+  IndexedMaxHeap<int> heap(10);
+  heap.push(3, 5);
+  heap.push(7, 10);
+  heap.push(1, 1);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.top(), 7u);
+  EXPECT_EQ(heap.pop(), 7u);
+  EXPECT_EQ(heap.pop(), 3u);
+  EXPECT_EQ(heap.pop(), 1u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMaxHeap, TieBreaksBySmallestKey) {
+  IndexedMaxHeap<int> heap(10);
+  heap.push(5, 7);
+  heap.push(2, 7);
+  heap.push(9, 7);
+  EXPECT_EQ(heap.pop(), 2u);
+  EXPECT_EQ(heap.pop(), 5u);
+  EXPECT_EQ(heap.pop(), 9u);
+}
+
+TEST(IndexedMaxHeap, UpdateRaisesAndLowers) {
+  IndexedMaxHeap<int> heap(4);
+  heap.push(0, 1);
+  heap.push(1, 2);
+  heap.push(2, 3);
+  heap.update(0, 100);
+  EXPECT_EQ(heap.top(), 0u);
+  heap.update(0, -1);
+  EXPECT_EQ(heap.top(), 2u);
+  EXPECT_EQ(heap.priority(0), -1);
+}
+
+TEST(IndexedMaxHeap, EraseMiddle) {
+  IndexedMaxHeap<int> heap(8);
+  for (std::uint32_t k = 0; k < 8; ++k) heap.push(k, static_cast<int>(k));
+  heap.erase(4);
+  EXPECT_FALSE(heap.contains(4));
+  std::vector<std::uint32_t> order;
+  while (!heap.empty()) order.push_back(heap.pop());
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{7, 6, 5, 3, 2, 1, 0}));
+}
+
+TEST(IndexedMaxHeap, PushOrUpdate) {
+  IndexedMaxHeap<int> heap(4);
+  heap.push_or_update(2, 5);
+  heap.push_or_update(2, 9);
+  EXPECT_EQ(heap.size(), 1u);
+  EXPECT_EQ(heap.priority(2), 9);
+}
+
+TEST(IndexedMaxHeap, ResetClearsAndResizes) {
+  IndexedMaxHeap<int> heap(2);
+  heap.push(0, 1);
+  heap.reset(100);
+  EXPECT_TRUE(heap.empty());
+  heap.push(99, 42);
+  EXPECT_EQ(heap.top(), 99u);
+}
+
+// Property: heap agrees with a reference model under a random op sequence.
+class IndexedHeapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexedHeapProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const std::size_t universe = 64;
+  IndexedMaxHeap<std::int64_t> heap(universe);
+  std::map<std::uint32_t, std::int64_t> model;
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto key = static_cast<std::uint32_t>(rng.next_below(universe));
+    const auto op = rng.next_below(4);
+    if (op == 0) {  // insert or update
+      const auto prio = rng.next_in(-1000, 1000);
+      heap.push_or_update(key, prio);
+      model[key] = prio;
+    } else if (op == 1 && heap.contains(key)) {  // erase
+      heap.erase(key);
+      model.erase(key);
+    } else if (op == 2 && !heap.empty()) {  // pop max
+      const auto k = heap.pop();
+      auto best = model.begin();
+      for (auto it = model.begin(); it != model.end(); ++it) {
+        if (it->second > best->second) best = it;
+      }
+      EXPECT_EQ(k, best->first);
+      model.erase(best);
+    } else if (op == 3 && heap.contains(key)) {  // priority query
+      EXPECT_EQ(heap.priority(key), model.at(key));
+    }
+    ASSERT_EQ(heap.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(Stats, N50Basics) {
+  EXPECT_EQ(n50({}), 0u);
+  EXPECT_EQ(n50({100}), 100u);
+  // Total 100+80+70+50 = 300, half = 150; 100+80 = 180 >= 150 -> 80.
+  EXPECT_EQ(n50({50, 80, 100, 70}), 80u);
+}
+
+TEST(Stats, NxFractions) {
+  const std::vector<std::uint64_t> lens{10, 20, 30, 40};  // total 100
+  EXPECT_EQ(nx(lens, 0.25), 40u);
+  EXPECT_EQ(nx(lens, 0.5), 30u);
+  EXPECT_EQ(nx(lens, 0.9), 20u);  // 40+30+20 = 90 >= 90
+  EXPECT_EQ(nx(lens, 0.95), 10u);
+  EXPECT_THROW(nx(lens, 0.0), Error);
+  EXPECT_THROW(nx(lens, 1.5), Error);
+}
+
+TEST(Stats, Pearson) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);  // constant input
+  EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// error machinery
+// ---------------------------------------------------------------------------
+
+TEST(ErrorMacros, CheckThrowsFocusError) {
+  EXPECT_THROW(FOCUS_CHECK(false, "bad input"), Error);
+  EXPECT_NO_THROW(FOCUS_CHECK(true, "fine"));
+}
+
+TEST(ErrorMacros, AssertThrowsLogicError) {
+  EXPECT_THROW(FOCUS_ASSERT(false, "broken invariant"), std::logic_error);
+}
+
+TEST(ErrorMacros, MessagesIncludeLocation) {
+  try {
+    FOCUS_THROW("custom message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace focus

@@ -1,0 +1,122 @@
+// Tests for quality-weighted consensus calling.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/consensus.hpp"
+#include "sim/genome.hpp"
+
+namespace focus::core {
+namespace {
+
+using graph::LayoutStep;
+
+io::Read make_read(const std::string& seq, const std::string& qual = "") {
+  io::Read r;
+  r.name = "r";
+  r.seq = seq;
+  r.qual = qual;
+  return r;
+}
+
+TEST(Consensus, SingleReadIsItself) {
+  io::ReadSet reads;
+  reads.add(make_read("ACGTACGT"));
+  const std::vector<LayoutStep> layout{{0, 0}};
+  const auto c = consensus_from_layout(reads, layout);
+  EXPECT_EQ(c.sequence, "ACGTACGT");
+  EXPECT_DOUBLE_EQ(c.mean_depth, 1.0);
+  EXPECT_EQ(c.corrected_columns, 0u);
+}
+
+TEST(Consensus, ChainsReadsLikeMerge) {
+  io::ReadSet reads;
+  reads.add(make_read("ACGTAC"));
+  reads.add(make_read("TACGGG"));
+  const std::vector<LayoutStep> layout{{0, 3}, {1, 0}};
+  const auto c = consensus_from_layout(reads, layout);
+  EXPECT_EQ(c.sequence, "ACGTACGGG");
+  // Overlap columns have depth 2.
+  EXPECT_EQ(c.depth[2], 1);
+  EXPECT_EQ(c.depth[3], 2);
+  EXPECT_EQ(c.depth[5], 2);
+  EXPECT_EQ(c.depth[6], 1);
+}
+
+TEST(Consensus, MajorityCorrectsSequencingError) {
+  // Three reads over the same region; the middle read has one error. The
+  // two correct reads outvote it.
+  const std::string truth = "ACGTACGTACGTACGTACGT";
+  std::string erroneous = truth.substr(4);
+  erroneous[6] = 'A';  // truth has 'G' at column 10, covered by all 3 reads
+  io::ReadSet reads;
+  reads.add(make_read(truth.substr(0, 16)));
+  reads.add(make_read(erroneous));          // offset 4
+  reads.add(make_read(truth.substr(8)));    // offset 8
+  const std::vector<LayoutStep> layout{{0, 12}, {1, 12}, {2, 0}};
+  const auto c = consensus_from_layout(reads, layout);
+  EXPECT_EQ(c.sequence, truth);
+  EXPECT_GE(c.corrected_columns, 1u);
+}
+
+TEST(Consensus, QualityBreaksTwoWayTies) {
+  // Two reads disagree at one column; the high-quality call wins.
+  io::ReadSet reads;
+  reads.add(make_read("ACGT", "!!!!"));   // phred 0 everywhere
+  reads.add(make_read("AGGT", "IIII"));   // phred 40 everywhere
+  const std::vector<LayoutStep> layout{{0, 4}, {1, 0}};
+  const auto c = consensus_from_layout(reads, layout);
+  EXPECT_EQ(c.sequence, "AGGT");
+}
+
+TEST(Consensus, NsNeverVote) {
+  io::ReadSet reads;
+  reads.add(make_read("ANGT"));
+  reads.add(make_read("ACGT"));
+  const std::vector<LayoutStep> layout{{0, 4}, {1, 0}};
+  const auto c = consensus_from_layout(reads, layout);
+  EXPECT_EQ(c.sequence, "ACGT");
+}
+
+TEST(Consensus, EmptyLayoutRejected) {
+  io::ReadSet reads;
+  EXPECT_THROW(consensus_from_layout(reads, {}), Error);
+}
+
+TEST(Consensus, WorkScalesWithBases) {
+  io::ReadSet reads;
+  reads.add(make_read(std::string(100, 'A')));
+  reads.add(make_read(std::string(50, 'C')));
+  const std::vector<LayoutStep> layout{{0, 10}, {1, 0}};
+  EXPECT_DOUBLE_EQ(consensus_work(reads, layout), 150.0);
+}
+
+TEST(Consensus, DeepPileupMatchesTruth) {
+  // Simulated pileup: 10 noisy copies of the same fragment; consensus
+  // recovers the truth despite 3% per-base errors.
+  Rng rng(9);
+  const std::string truth = sim::random_genome(300, rng);
+  io::ReadSet reads;
+  std::vector<LayoutStep> layout;
+  for (int i = 0; i < 10; ++i) {
+    std::string copy = truth;
+    for (auto& base : copy) {
+      if (rng.next_bool(0.03)) {
+        base = "ACGT"[rng.next_below(4)];
+      }
+    }
+    reads.add(make_read(copy, std::string(300, 'I')));
+    layout.push_back({static_cast<NodeId>(i), 300});
+  }
+  layout.back().overlap_to_next = 0;
+  const auto c = consensus_from_layout(reads, layout);
+  ASSERT_EQ(c.sequence.size(), truth.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (c.sequence[i] != truth[i]) ++mismatches;
+  }
+  EXPECT_LE(mismatches, 2u);
+  EXPECT_DOUBLE_EQ(c.mean_depth, 10.0);
+}
+
+}  // namespace
+}  // namespace focus::core

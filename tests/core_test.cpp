@@ -1,0 +1,222 @@
+// Tests for core components: assembly stats, contig dedup, the k-mer
+// classifier, community analysis, and assembly-graph construction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+#include "core/asm_build.hpp"
+#include "core/classify.hpp"
+#include "core/community.hpp"
+#include "core/stats.hpp"
+#include "sim/datasets.hpp"
+#include "sim/sequencer.hpp"
+
+namespace focus::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Assembly stats
+// ---------------------------------------------------------------------------
+
+TEST(AssemblyStats, Basics) {
+  const auto s = assembly_stats({"ACGTACGTAC", "ACGT", "ACGTAC"});
+  EXPECT_EQ(s.contig_count, 3u);
+  EXPECT_EQ(s.total_bases, 20u);
+  EXPECT_EQ(s.max_contig, 10u);
+  EXPECT_EQ(s.n50, 10u);  // 10 >= 10 (half of 20)
+  EXPECT_NEAR(s.mean_length, 20.0 / 3.0, 1e-9);
+}
+
+TEST(AssemblyStats, Empty) {
+  const auto s = assembly_stats({});
+  EXPECT_EQ(s.contig_count, 0u);
+  EXPECT_EQ(s.n50, 0u);
+  EXPECT_EQ(s.max_contig, 0u);
+}
+
+TEST(DedupeContigs, CollapsesReverseComplementTwins) {
+  const std::string a = "ACGTTACCGGA";
+  const auto out = dedupe_contigs({a, dna::reverse_complement(a)}, 1);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(DedupeContigs, KeepsDistinctContigs) {
+  const auto out = dedupe_contigs({"AAAATTTTCCC", "GGGGCCCCAAA"}, 1);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DedupeContigs, DropsShortAndSortsByLength) {
+  const auto out = dedupe_contigs({"ACG", "AAAACCCCGGGG", "TTTTTAAAAA"}, 5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].size(), 12u);
+  EXPECT_EQ(out[1].size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+TEST(Classifier, ClassifiesSimulatedReadsAccurately) {
+  const auto ds = sim::make_dataset(1, /*scale=*/0.4, /*coverage=*/2.0);
+  const KmerClassifier classifier(ds.community, 21);
+  std::size_t correct = 0, classified = 0;
+  for (ReadId i = 0; i < ds.data.size(); ++i) {
+    const auto genus = classifier.classify(ds.data.reads[i].seq);
+    if (genus == kUnclassified) continue;
+    ++classified;
+    if (genus == ds.data.provenance[i].genus) ++correct;
+  }
+  ASSERT_GT(classified, ds.data.size() * 9 / 10);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(classified),
+            0.95);
+}
+
+TEST(Classifier, UnrelatedSequenceUnclassified) {
+  const auto ds = sim::make_dataset(2, 0.25, 1.0);
+  const KmerClassifier classifier(ds.community, 21);
+  // A sequence from a different dataset's community (unrelated root genome).
+  const auto other = sim::make_dataset(1, 0.25, 1.0);
+  const std::string foreign = other.community.genera[0].genome.substr(0, 100);
+  EXPECT_EQ(classifier.classify(foreign), kUnclassified);
+}
+
+TEST(Classifier, HandlesReverseStrandReads) {
+  const auto ds = sim::make_dataset(3, 0.25, 1.0);
+  const KmerClassifier classifier(ds.community, 21);
+  const std::string fwd = ds.community.genera[4].genome.substr(500, 100);
+  EXPECT_EQ(classifier.classify(fwd), 4u);
+  EXPECT_EQ(classifier.classify(dna::reverse_complement(fwd)), 4u);
+}
+
+TEST(Classifier, RejectsBadK) {
+  const auto ds = sim::make_dataset(1, 0.25, 1.0);
+  EXPECT_THROW(KmerClassifier(ds.community, 5), Error);
+  EXPECT_THROW(KmerClassifier(ds.community, 40), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Community analysis
+// ---------------------------------------------------------------------------
+
+TEST(Community, FractionsSumToOnePerGenus) {
+  const std::vector<std::uint32_t> genus = {0, 0, 0, 1, 1, kUnclassified};
+  const std::vector<PartId> part = {0, 0, 1, 1, 1, 0};
+  const auto m = genus_partition_distribution(genus, part, {"A", "B"}, 2);
+  EXPECT_EQ(m.classified_reads[0], 3u);
+  EXPECT_EQ(m.classified_reads[1], 2u);
+  EXPECT_NEAR(m.fraction[0][0] + m.fraction[0][1], 1.0, 1e-12);
+  EXPECT_NEAR(m.fraction[0][0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.fraction[1][1], 1.0, 1e-12);
+}
+
+TEST(Community, SkipsUnassignedReads) {
+  const std::vector<std::uint32_t> genus = {0, 0};
+  const std::vector<PartId> part = {kNoPart, 0};
+  const auto m = genus_partition_distribution(genus, part, {"A"}, 2);
+  EXPECT_EQ(m.classified_reads[0], 1u);
+}
+
+TEST(Community, ConcentrationDetectsSkew) {
+  GenusPartitionMatrix m;
+  m.genus_names = {"uniform", "peaked"};
+  m.partitions = 4;
+  m.fraction = {{0.25, 0.25, 0.25, 0.25}, {0.85, 0.05, 0.05, 0.05}};
+  m.classified_reads = {100, 100};
+  const auto c = concentration(m);
+  EXPECT_NEAR(c[0], 0.25, 1e-12);
+  EXPECT_NEAR(c[1], 0.85, 1e-12);
+}
+
+TEST(Community, PhylumCoclusteringMetric) {
+  GenusPartitionMatrix m;
+  m.genus_names = {"f1", "f2", "b1"};
+  m.partitions = 4;
+  // f1, f2 share a profile; b1 is anti-correlated.
+  m.fraction = {{0.7, 0.2, 0.05, 0.05},
+                {0.6, 0.3, 0.05, 0.05},
+                {0.05, 0.05, 0.2, 0.7}};
+  m.classified_reads = {10, 10, 10};
+  const auto cc = phylum_coclustering(m, {"Firmicutes", "Firmicutes",
+                                          "Bacteroidetes"});
+  EXPECT_GT(cc.within_phylum, 0.8);
+  EXPECT_LT(cc.between_phyla, 0.0);
+}
+
+TEST(Community, HeatmapRendersAllRows) {
+  GenusPartitionMatrix m;
+  m.genus_names = {"Alpha", "Beta"};
+  m.partitions = 3;
+  m.fraction = {{1.0, 0.0, 0.0}, {0.0, 0.5, 0.5}};
+  m.classified_reads = {5, 6};
+  const auto text = render_heatmap(m);
+  EXPECT_NE(text.find("Alpha"), std::string::npos);
+  EXPECT_NE(text.find("Beta"), std::string::npos);
+  EXPECT_NE(text.find("P0"), std::string::npos);
+}
+
+TEST(Community, RejectsMismatchedInputs) {
+  EXPECT_THROW(genus_partition_distribution({0}, {0, 1}, {"A"}, 2), Error);
+  EXPECT_THROW(genus_partition_distribution({0}, {0}, {"A"}, 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Assembly-graph construction
+// ---------------------------------------------------------------------------
+
+TEST(AsmBuild, BuildsContigsFromLayouts) {
+  // Hand-craft a tiny hybrid set: two clusters, each a 2-read chain, plus a
+  // read-level edge between the clusters.
+  io::ReadSet reads;
+  const std::string genome =
+      "ACGTACGGTTACACGGATTACAGGCATTACGGATCAGGTACCATGGCAATTGGCCATGCATGCA";
+  reads.add(io::Read{"r0", genome.substr(0, 24), "", 0, false});
+  reads.add(io::Read{"r1", genome.substr(12, 24), "", 1, false});
+  reads.add(io::Read{"r2", genome.substr(24, 24), "", 2, false});
+  reads.add(io::Read{"r3", genome.substr(36, 24), "", 3, false});
+
+  graph::Digraph read_graph(4);
+  read_graph.add_edge(0, 1, 12);
+  read_graph.add_edge(1, 2, 12);  // cross-cluster edge
+  read_graph.add_edge(2, 3, 12);
+  read_graph.finalize();
+
+  graph::HybridGraphSet hybrid;
+  hybrid.cluster_reads = {{0, 1}, {2, 3}};
+  hybrid.layouts = {{{0, 12}, {1, 0}}, {{2, 12}, {3, 0}}};
+
+  const auto built = build_assembly_graph(hybrid, read_graph, reads);
+  ASSERT_EQ(built.graph.node_count(), 2u);
+  EXPECT_EQ(built.graph.node(0).contig, genome.substr(0, 36));
+  EXPECT_EQ(built.graph.node(1).contig, genome.substr(24, 36));
+  EXPECT_EQ(built.cluster_of[0], 0u);
+  EXPECT_EQ(built.cluster_of[3], 1u);
+  // One inter-cluster edge with the geometric overlap estimate:
+  // cluster 1 starts at genome offset 24; cluster 0 spans [0, 36) -> 12 bp.
+  ASSERT_EQ(built.graph.edge_count(), 1u);
+  const auto& e = built.graph.edge(0);
+  EXPECT_EQ(e.from, 0u);
+  EXPECT_EQ(e.to, 1u);
+  EXPECT_EQ(e.overlap, 12u);
+  EXPECT_EQ(e.offset, 24u);
+}
+
+TEST(AsmBuild, ContainedReadsGetClusterButNoOffset) {
+  io::ReadSet reads;
+  reads.add(io::Read{"r0", std::string(30, 'A'), "", 0, false});
+  reads.add(io::Read{"r1", std::string(20, 'A'), "", 1, false});
+  graph::Digraph read_graph(2);
+  read_graph.mark_contained(1);
+  read_graph.finalize();
+  graph::HybridGraphSet hybrid;
+  hybrid.cluster_reads = {{0, 1}};
+  hybrid.layouts = {{{0, 0}}};
+  const auto built = build_assembly_graph(hybrid, read_graph, reads);
+  EXPECT_EQ(built.graph.node_count(), 1u);
+  EXPECT_EQ(built.cluster_of[1], 0u);
+  EXPECT_EQ(built.graph.node(0).reads, 2);
+}
+
+}  // namespace
+}  // namespace focus::core

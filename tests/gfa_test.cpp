@@ -1,0 +1,73 @@
+// Tests for GFA 1.0 export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "dist/gfa.hpp"
+
+namespace focus::dist {
+namespace {
+
+AsmGraph small_graph() {
+  AsmGraph g;
+  g.add_node("ACGTACGT", 3);
+  g.add_node("TACGTTTT", 5);
+  g.add_node("GGGG", 1);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 2);
+  return g;
+}
+
+TEST(Gfa, WritesHeaderSegmentsAndLinks) {
+  const AsmGraph g = small_graph();
+  std::ostringstream out;
+  write_gfa(out, g);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("H\tVN:Z:1.0\n"), std::string::npos);
+  EXPECT_NE(text.find("S\tc0\tACGTACGT\tRC:i:3\n"), std::string::npos);
+  EXPECT_NE(text.find("S\tc1\tTACGTTTT\tRC:i:5\n"), std::string::npos);
+  EXPECT_NE(text.find("L\tc0\t+\tc1\t+\t5M\n"), std::string::npos);
+  EXPECT_NE(text.find("L\tc1\t+\tc2\t+\t2M\n"), std::string::npos);
+}
+
+TEST(Gfa, SkipsRemovedNodesAndTheirLinks) {
+  AsmGraph g = small_graph();
+  g.remove_node(1);
+  std::ostringstream out;
+  write_gfa(out, g);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("S\tc1"), std::string::npos);
+  EXPECT_EQ(text.find("L\t"), std::string::npos);  // both links touched c1
+  EXPECT_NE(text.find("S\tc0"), std::string::npos);
+}
+
+TEST(Gfa, MinSegmentLengthFilters) {
+  const AsmGraph g = small_graph();
+  GfaOptions options;
+  options.min_segment_length = 6;
+  std::ostringstream out;
+  write_gfa(out, g, options);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("S\tc0"), std::string::npos);
+  EXPECT_EQ(text.find("S\tc2"), std::string::npos);  // 4 bp < 6
+  // The c1 -> c2 link is suppressed with its endpoint.
+  EXPECT_EQ(text.find("L\tc1\t+\tc2"), std::string::npos);
+}
+
+TEST(Gfa, TagsCanBeDisabled) {
+  const AsmGraph g = small_graph();
+  GfaOptions options;
+  options.read_count_tags = false;
+  std::ostringstream out;
+  write_gfa(out, g, options);
+  EXPECT_EQ(out.str().find("RC:i:"), std::string::npos);
+}
+
+TEST(Gfa, FileWriteFailsOnBadPath) {
+  const AsmGraph g = small_graph();
+  EXPECT_THROW(write_gfa_file("/nonexistent/dir/out.gfa", g), Error);
+}
+
+}  // namespace
+}  // namespace focus::dist

@@ -1,0 +1,325 @@
+// Tests for the contiguity tester and hybrid graph set construction
+// (paper §II-D, §III).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/coarsen.hpp"
+#include "graph/contiguity.hpp"
+#include "graph/hybrid.hpp"
+
+namespace focus::graph {
+namespace {
+
+std::vector<std::uint32_t> uniform_lengths(std::size_t n, std::uint32_t len = 100) {
+  return std::vector<std::uint32_t>(n, len);
+}
+
+// ---------------------------------------------------------------------------
+// ContiguityTester
+// ---------------------------------------------------------------------------
+
+TEST(Contiguity, SimplePathIsContiguous) {
+  Digraph g(4);
+  g.add_edge(0, 1, 60);
+  g.add_edge(1, 2, 55);
+  g.add_edge(2, 3, 70);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(4));
+  std::vector<LayoutStep> layout;
+  ASSERT_TRUE(tester.contiguous(std::vector<NodeId>{0, 1, 2, 3}, &layout));
+  ASSERT_EQ(layout.size(), 4u);
+  EXPECT_EQ(layout[0].read, 0u);
+  EXPECT_EQ(layout[0].overlap_to_next, 60);
+  EXPECT_EQ(layout[3].read, 3u);
+  EXPECT_EQ(layout[3].overlap_to_next, 0);
+}
+
+TEST(Contiguity, SubclusterOfPathIsContiguous) {
+  Digraph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1, 50);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(5));
+  EXPECT_TRUE(tester.contiguous(std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Contiguity, BranchIsNotContiguous) {
+  Digraph g(4);
+  g.add_edge(0, 1, 50);
+  g.add_edge(0, 2, 50);  // fork
+  g.add_edge(1, 3, 50);
+  g.add_edge(2, 3, 50);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(4));
+  EXPECT_FALSE(tester.contiguous(std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Contiguity, DisconnectedClusterIsNotContiguous) {
+  Digraph g(4);
+  g.add_edge(0, 1, 50);
+  g.add_edge(2, 3, 50);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(4));
+  EXPECT_FALSE(tester.contiguous(std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_TRUE(tester.contiguous(std::vector<NodeId>{0, 1}));
+}
+
+TEST(Contiguity, CycleIsNotContiguous) {
+  Digraph g(3);
+  g.add_edge(0, 1, 50);
+  g.add_edge(1, 2, 50);
+  g.add_edge(2, 0, 50);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(3));
+  EXPECT_FALSE(tester.contiguous(std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Contiguity, TransitiveEdgesDoNotBreakPath) {
+  // 0->1->2 with the redundant transitive edge 0->2: still one contig.
+  Digraph g(3);
+  g.add_edge(0, 1, 70);
+  g.add_edge(1, 2, 70);
+  g.add_edge(0, 2, 40);  // transitive
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(3));
+  std::vector<LayoutStep> layout;
+  ASSERT_TRUE(tester.contiguous(std::vector<NodeId>{0, 1, 2}, &layout));
+  ASSERT_EQ(layout.size(), 3u);
+  EXPECT_EQ(layout[1].read, 1u);
+}
+
+TEST(Contiguity, ContainedReadsExcludedFromPath) {
+  Digraph g(4);
+  g.add_edge(0, 1, 60);
+  g.add_edge(1, 2, 60);
+  g.mark_contained(3);  // floats inside the cluster without layout edges
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(4));
+  std::vector<LayoutStep> layout;
+  ASSERT_TRUE(tester.contiguous(std::vector<NodeId>{0, 1, 2, 3}, &layout));
+  EXPECT_EQ(layout.size(), 3u);  // contained read not in the layout
+}
+
+TEST(Contiguity, SingletonAlwaysContiguous) {
+  Digraph g(2);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(2));
+  std::vector<LayoutStep> layout;
+  ASSERT_TRUE(tester.contiguous(std::vector<NodeId>{1}, &layout));
+  ASSERT_EQ(layout.size(), 1u);
+  EXPECT_EQ(layout[0].read, 1u);
+}
+
+TEST(Contiguity, AllContainedClusterUsesLongestRead) {
+  Digraph g(3);
+  g.mark_contained(0);
+  g.mark_contained(1);
+  g.mark_contained(2);
+  g.finalize();
+  ContiguityTester tester(g, {80, 120, 100});
+  std::vector<LayoutStep> layout;
+  ASSERT_TRUE(tester.contiguous(std::vector<NodeId>{0, 1, 2}, &layout));
+  ASSERT_EQ(layout.size(), 1u);
+  EXPECT_EQ(layout[0].read, 1u);  // the longest
+}
+
+TEST(Contiguity, EmptyClusterNotContiguous) {
+  Digraph g(1);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(1));
+  EXPECT_FALSE(tester.contiguous(std::vector<NodeId>{}));
+}
+
+TEST(Contiguity, TwoParallelChainsNotContiguous) {
+  // Two chains inside one cluster (e.g. fwd and rc strands).
+  Digraph g(4);
+  g.add_edge(0, 1, 50);
+  g.add_edge(2, 3, 50);
+  g.finalize();
+  ContiguityTester tester(g, uniform_lengths(4));
+  EXPECT_FALSE(tester.contiguous(std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid graph set
+// ---------------------------------------------------------------------------
+
+// A linear read chain: coarsening produces clusters that are all contiguous,
+// so representatives come from coarse levels and the hybrid graph is small.
+struct LinearFixture {
+  Graph g0;
+  Digraph reads;
+  GraphHierarchy ml;
+
+  explicit LinearFixture(std::size_t n) : reads(n) {
+    GraphBuilder b(n);
+    for (NodeId v = 0; v + 1 < n; ++v) {
+      b.add_edge(v, v + 1, 60);
+      reads.add_edge(v, v + 1, 60);
+    }
+    reads.finalize();
+    g0 = b.build();
+    CoarsenConfig cfg;
+    cfg.min_nodes = 4;
+    cfg.max_levels = 6;
+    ml = build_multilevel(g0, cfg);
+  }
+};
+
+TEST(Hybrid, LinearChainCollapsesToFewRepresentatives) {
+  LinearFixture fx(64);
+  const auto hybrid = build_hybrid(fx.ml, fx.reads, uniform_lengths(64));
+  // Every cluster of a pure chain is contiguous, so representatives come
+  // from the coarsest level.
+  EXPECT_EQ(hybrid.hierarchy.depth(), fx.ml.depth());
+  EXPECT_LT(hybrid.hybrid_graph().node_count(), fx.ml.levels[0].node_count());
+  EXPECT_EQ(hybrid.hybrid_graph().node_count(),
+            fx.ml.coarsest().node_count());
+}
+
+TEST(Hybrid, ClusterReadsPartitionAllReads) {
+  LinearFixture fx(48);
+  const auto hybrid = build_hybrid(fx.ml, fx.reads, uniform_lengths(48));
+  std::set<NodeId> seen;
+  for (NodeId h = 0; h < hybrid.cluster_reads.size(); ++h) {
+    for (const NodeId r : hybrid.cluster_reads[h]) {
+      EXPECT_TRUE(seen.insert(r).second) << "read in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), 48u);
+}
+
+TEST(Hybrid, NodeWeightsMatchClusterSizes) {
+  LinearFixture fx(32);
+  const auto hybrid = build_hybrid(fx.ml, fx.reads, uniform_lengths(32));
+  const Graph& hg = hybrid.hybrid_graph();
+  ASSERT_EQ(hg.node_count(), hybrid.cluster_reads.size());
+  for (NodeId h = 0; h < hg.node_count(); ++h) {
+    EXPECT_EQ(hg.node_weight(h),
+              static_cast<Weight>(hybrid.cluster_reads[h].size()));
+  }
+  EXPECT_EQ(hg.total_node_weight(), fx.g0.total_node_weight());
+}
+
+TEST(Hybrid, LayoutsCoverEveryHybridNode) {
+  LinearFixture fx(40);
+  const auto hybrid = build_hybrid(fx.ml, fx.reads, uniform_lengths(40));
+  ASSERT_EQ(hybrid.layouts.size(), hybrid.cluster_reads.size());
+  for (NodeId h = 0; h < hybrid.layouts.size(); ++h) {
+    EXPECT_FALSE(hybrid.layouts[h].empty());
+    // Layout reads are cluster members.
+    const std::set<NodeId> members(hybrid.cluster_reads[h].begin(),
+                                   hybrid.cluster_reads[h].end());
+    for (const auto& step : hybrid.layouts[h]) {
+      EXPECT_TRUE(members.contains(step.read));
+    }
+  }
+}
+
+TEST(Hybrid, ParentMapsAreConsistent) {
+  LinearFixture fx(64);
+  const auto hybrid = build_hybrid(fx.ml, fx.reads, uniform_lengths(64));
+  const auto& h = hybrid.hierarchy;
+  ASSERT_EQ(h.parent.size(), h.depth() - 1);
+  for (std::size_t l = 0; l + 1 < h.depth(); ++l) {
+    ASSERT_EQ(h.parent[l].size(), h.levels[l].node_count());
+    Weight child_weight_sum = 0;
+    std::vector<Weight> parent_weight(h.levels[l + 1].node_count(), 0);
+    for (NodeId v = 0; v < h.levels[l].node_count(); ++v) {
+      ASSERT_LT(h.parent[l][v], h.levels[l + 1].node_count());
+      parent_weight[h.parent[l][v]] += h.levels[l].node_weight(v);
+      child_weight_sum += h.levels[l].node_weight(v);
+    }
+    for (NodeId p = 0; p < h.levels[l + 1].node_count(); ++p) {
+      EXPECT_EQ(parent_weight[p], h.levels[l + 1].node_weight(p));
+    }
+    EXPECT_EQ(child_weight_sum, h.levels[l + 1].total_node_weight());
+  }
+}
+
+TEST(Hybrid, BranchingForcesFinerRepresentatives) {
+  // A cross/star topology in the read digraph: coarse clusters spanning the
+  // branch cannot be contiguous, so they must expand toward finer levels.
+  const std::size_t n = 33;
+  Digraph reads(n);
+  GraphBuilder b(n);
+  // Chain 0..15, chain 16..31, both feeding node 32 (a junction).
+  for (NodeId v = 0; v + 1 < 16; ++v) {
+    b.add_edge(v, v + 1, 60);
+    reads.add_edge(v, v + 1, 60);
+  }
+  for (NodeId v = 16; v + 1 < 32; ++v) {
+    b.add_edge(v, v + 1, 60);
+    reads.add_edge(v, v + 1, 60);
+  }
+  b.add_edge(15, 32, 50);
+  reads.add_edge(15, 32, 50);
+  b.add_edge(31, 32, 50);
+  reads.add_edge(31, 32, 50);
+  reads.finalize();
+  const Graph g0 = b.build();
+  CoarsenConfig cfg;
+  cfg.min_nodes = 2;
+  cfg.max_levels = 8;
+  const auto ml = build_multilevel(g0, cfg);
+  const auto hybrid = build_hybrid(ml, reads, uniform_lengths(n));
+  // The junction prevents total collapse: more hybrid nodes than coarsest
+  // nodes, fewer than reads.
+  EXPECT_GT(hybrid.hybrid_graph().node_count(), ml.coarsest().node_count());
+  EXPECT_LT(hybrid.hybrid_graph().node_count(), n);
+  // Representative level histogram sums to the hybrid node count.
+  std::size_t reps = 0;
+  for (const auto count : hybrid.reps_per_level) reps += count;
+  EXPECT_EQ(reps, hybrid.hybrid_graph().node_count());
+}
+
+TEST(Hybrid, ProjectToReadsAssignsEveryRead) {
+  LinearFixture fx(32);
+  const auto hybrid = build_hybrid(fx.ml, fx.reads, uniform_lengths(32));
+  std::vector<PartId> parts(hybrid.hybrid_graph().node_count());
+  for (NodeId h = 0; h < parts.size(); ++h) {
+    parts[h] = static_cast<PartId>(h % 4);
+  }
+  const auto read_parts = hybrid.project_to_reads(parts, 32);
+  ASSERT_EQ(read_parts.size(), 32u);
+  for (NodeId r = 0; r < 32; ++r) {
+    EXPECT_NE(read_parts[r], kNoPart);
+    // The read's partition equals its cluster's partition.
+  }
+  for (NodeId h = 0; h < hybrid.cluster_reads.size(); ++h) {
+    for (const NodeId r : hybrid.cluster_reads[h]) {
+      EXPECT_EQ(read_parts[r], parts[h]);
+    }
+  }
+}
+
+TEST(Hybrid, HybridEdgesReflectFinestEdges) {
+  LinearFixture fx(32);
+  const auto hybrid = build_hybrid(fx.ml, fx.reads, uniform_lengths(32));
+  const Graph& hg = hybrid.hybrid_graph();
+  // A chain's hybrid graph is itself a chain: edge count = node count - 1
+  // (single component, no extra edges).
+  EXPECT_EQ(hg.edge_count(), hg.node_count() - 1);
+  // Total edge weight = G0 total minus weight internal to clusters.
+  EXPECT_LE(hg.total_edge_weight(), fx.g0.total_edge_weight());
+}
+
+TEST(Hybrid, SingleLevelHierarchy) {
+  // Edge case: multilevel set with only G0 (no coarsening possible).
+  GraphBuilder b(3);
+  const Graph g0 = b.build();  // no edges
+  GraphHierarchy ml;
+  ml.levels.push_back(g0);
+  Digraph reads(3);
+  reads.finalize();
+  const auto hybrid = build_hybrid(ml, reads, uniform_lengths(3));
+  EXPECT_EQ(hybrid.hierarchy.depth(), 1u);
+  EXPECT_EQ(hybrid.hybrid_graph().node_count(), 3u);
+  for (const auto& layout : hybrid.layouts) {
+    EXPECT_EQ(layout.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace focus::graph

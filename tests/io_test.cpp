@@ -1,0 +1,376 @@
+// Tests for FASTA/FASTQ parsing, writing, and read preprocessing (§II-A).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+#include "io/fastx.hpp"
+#include "io/preprocess.hpp"
+
+namespace focus::io {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FASTA parsing
+// ---------------------------------------------------------------------------
+
+TEST(Fasta, ParsesSingleRecord) {
+  const auto reads = parse_fastx_string(">read1 description\nACGTACGT\n");
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].name, "read1 description");
+  EXPECT_EQ(reads[0].seq, "ACGTACGT");
+  EXPECT_TRUE(reads[0].qual.empty());
+}
+
+TEST(Fasta, ConcatenatesMultilineSequences) {
+  const auto reads = parse_fastx_string(">r\nACGT\nACGT\nTT\n");
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].seq, "ACGTACGTTT");
+}
+
+TEST(Fasta, ParsesMultipleRecords) {
+  const auto reads = parse_fastx_string(">a\nAAAA\n>b\nCCCC\n>c\nGGGG\n");
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_EQ(reads[1].name, "b");
+  EXPECT_EQ(reads[2].seq, "GGGG");
+}
+
+TEST(Fasta, ToleratesBlankLinesAndCrlf) {
+  const auto reads = parse_fastx_string(">a\r\nACGT\r\n\r\n>b\r\nTTTT\r\n");
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].seq, "ACGT");
+  EXPECT_EQ(reads[1].seq, "TTTT");
+}
+
+TEST(Fasta, RejectsSequenceBeforeHeader) {
+  EXPECT_THROW(parse_fastx_string("ACGT\n>r\nAAAA\n"), Error);
+}
+
+TEST(Fasta, RejectsEmptyName) {
+  EXPECT_THROW(parse_fastx_string(">\nACGT\n"), Error);
+}
+
+TEST(Fasta, RejectsEmptySequence) {
+  EXPECT_THROW(parse_fastx_string(">a\n>b\nACGT\n"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// FASTQ parsing
+// ---------------------------------------------------------------------------
+
+TEST(Fastq, ParsesRecord) {
+  const auto reads = parse_fastx_string("@r1\nACGT\n+\nIIII\n");
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].name, "r1");
+  EXPECT_EQ(reads[0].seq, "ACGT");
+  EXPECT_EQ(reads[0].qual, "IIII");
+}
+
+TEST(Fastq, AcceptsRepeatedNameOnPlusLine) {
+  const auto reads = parse_fastx_string("@r1\nACGT\n+r1\nIIII\n");
+  ASSERT_EQ(reads.size(), 1u);
+}
+
+TEST(Fastq, RejectsTruncatedRecord) {
+  EXPECT_THROW(parse_fastx_string("@r1\nACGT\n+\n"), Error);
+  EXPECT_THROW(parse_fastx_string("@r1\nACGT\n"), Error);
+  EXPECT_THROW(parse_fastx_string("@r1\n"), Error);
+}
+
+TEST(Fastq, RejectsQualityLengthMismatch) {
+  EXPECT_THROW(parse_fastx_string("@r1\nACGT\n+\nIII\n"), Error);
+  EXPECT_THROW(parse_fastx_string("@r1\nACGT\n+\nIIIII\n"), Error);
+}
+
+TEST(Fastq, RejectsNonPhredQuality) {
+  EXPECT_THROW(parse_fastx_string(std::string("@r1\nACGT\n+\nII") + '\x07' + "I\n"),
+               Error);
+}
+
+TEST(Fastq, RejectsMissingPlusLine) {
+  EXPECT_THROW(parse_fastx_string("@r1\nACGT\nIIII\n@r2\nAC\n+\nII\n"), Error);
+}
+
+TEST(Fastx, AutodetectsFormat) {
+  EXPECT_EQ(parse_fastx_string(">a\nACGT\n")[0].qual, "");
+  EXPECT_EQ(parse_fastx_string("@a\nACGT\n+\n!!!!\n")[0].qual, "!!!!");
+  EXPECT_TRUE(parse_fastx_string("").empty());
+  EXPECT_THROW(parse_fastx_string("#comment\n"), Error);
+}
+
+TEST(Fastx, MissingFileThrows) {
+  EXPECT_THROW(load_fastx_file("/nonexistent/path/reads.fq"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+TEST(Writers, FastaRoundTrip) {
+  ReadSet reads;
+  reads.add(Read{"alpha", "ACGTACGTACGT", "", kInvalidRead, false});
+  reads.add(Read{"beta", "TTTT", "", kInvalidRead, false});
+  std::ostringstream out;
+  write_fasta(out, reads, /*line_width=*/5);
+  const auto parsed = parse_fastx_string(out.str());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].seq, "ACGTACGTACGT");
+  EXPECT_EQ(parsed[1].name, "beta");
+}
+
+TEST(Writers, FastqRoundTrip) {
+  ReadSet reads;
+  reads.add(Read{"q1", "ACGT", "IJKL", kInvalidRead, false});
+  std::ostringstream out;
+  write_fastq(out, reads);
+  const auto parsed = parse_fastx_string(out.str());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].qual, "IJKL");
+}
+
+TEST(Writers, FastqFillsMissingQuality) {
+  ReadSet reads;
+  reads.add(Read{"f1", "ACGT", "", kInvalidRead, false});
+  std::ostringstream out;
+  write_fastq(out, reads);
+  const auto parsed = parse_fastx_string(out.str());
+  EXPECT_EQ(parsed[0].qual, "IIII");
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing: trimming
+// ---------------------------------------------------------------------------
+
+// Quality string helper: offset from '!' (Phred+33).
+std::string qual_of(std::initializer_list<int> phreds) {
+  std::string q;
+  for (const int p : phreds) q.push_back(static_cast<char>('!' + p));
+  return q;
+}
+
+TEST(Preprocess, WindowAverageQuality) {
+  const std::string q = qual_of({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(window_average_quality(q, 0, 4), 25.0);
+  EXPECT_DOUBLE_EQ(window_average_quality(q, 2, 2), 35.0);
+}
+
+TEST(Preprocess, FixedTrimsRemoveEnds) {
+  Read r{"r", "AACGTACGTT", "IIIIIIIIII", kInvalidRead, false};
+  PreprocessConfig cfg;
+  cfg.trim5 = 2;
+  cfg.trim3 = 3;
+  cfg.window_len = 0;  // disable quality trimming
+  cfg.min_length = 1;
+  ASSERT_TRUE(trim_read(r, cfg));
+  EXPECT_EQ(r.seq, "CGTAC");
+  EXPECT_EQ(r.qual, "IIIII");
+}
+
+TEST(Preprocess, FixedTrimsConsumeWholeReadDropsIt) {
+  Read r{"r", "ACGT", "IIII", kInvalidRead, false};
+  PreprocessConfig cfg;
+  cfg.trim5 = 2;
+  cfg.trim3 = 2;
+  EXPECT_FALSE(trim_read(r, cfg));
+}
+
+TEST(Preprocess, QualityTrimCutsLowQualityTail) {
+  // 10 high-quality bases followed by 6 junk bases.
+  std::string qual = qual_of({35, 35, 35, 35, 35, 35, 35, 35, 35, 35,
+                              2, 2, 2, 2, 2, 2});
+  Read r{"r", "ACGTACGTACGTACGT", qual, kInvalidRead, false};
+  PreprocessConfig cfg;
+  cfg.window_len = 4;
+  cfg.window_step = 1;
+  cfg.min_quality = 20.0;
+  cfg.min_length = 4;
+  ASSERT_TRUE(trim_read(r, cfg));
+  // The first window (from the 3' end) whose average exceeds 20 ends within
+  // the high-quality prefix; everything after is cut.
+  EXPECT_LE(r.seq.size(), 11u);
+  EXPECT_GE(r.seq.size(), 10u);
+  EXPECT_EQ(r.seq.size(), r.qual.size());
+}
+
+TEST(Preprocess, HighQualityReadKeptWhole) {
+  Read r{"r", "ACGTACGTAC", qual_of({30, 30, 30, 30, 30, 30, 30, 30, 30, 30}),
+         kInvalidRead, false};
+  PreprocessConfig cfg;
+  cfg.window_len = 5;
+  cfg.min_quality = 20.0;
+  cfg.min_length = 5;
+  ASSERT_TRUE(trim_read(r, cfg));
+  EXPECT_EQ(r.seq.size(), 10u);
+}
+
+TEST(Preprocess, AllLowQualityReadDropped) {
+  Read r{"r", "ACGTACGTAC", qual_of({2, 2, 2, 2, 2, 2, 2, 2, 2, 2}),
+         kInvalidRead, false};
+  PreprocessConfig cfg;
+  cfg.window_len = 5;
+  cfg.min_quality = 20.0;
+  EXPECT_FALSE(trim_read(r, cfg));
+}
+
+TEST(Preprocess, FastaReadsSkipQualityTrimming) {
+  Read r{"r", "ACGTACGTAC", "", kInvalidRead, false};
+  PreprocessConfig cfg;
+  cfg.window_len = 5;
+  cfg.min_quality = 20.0;
+  cfg.min_length = 5;
+  ASSERT_TRUE(trim_read(r, cfg));
+  EXPECT_EQ(r.seq.size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing: full pass
+// ---------------------------------------------------------------------------
+
+TEST(Preprocess, AddsReverseComplements) {
+  ReadSet input;
+  input.add(Read{"a", "AAACCC", "IIIIII", kInvalidRead, false});
+  input.add(Read{"b", "GGGTTT", "IIIIII", kInvalidRead, false});
+  PreprocessConfig cfg;
+  cfg.window_len = 0;
+  cfg.min_length = 3;
+  PreprocessStats stats;
+  const auto out = preprocess(input, cfg, &stats);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].seq, "AAACCC");
+  EXPECT_EQ(out[1].seq, dna::reverse_complement("AAACCC"));
+  EXPECT_EQ(out[1].name, "a/rc");
+  EXPECT_TRUE(out[1].reverse);
+  EXPECT_EQ(out[1].origin, 0u);
+  EXPECT_EQ(out[3].origin, 1u);
+  EXPECT_EQ(stats.input_reads, 2u);
+  EXPECT_EQ(stats.output_reads, 4u);
+  EXPECT_EQ(stats.dropped_short, 0u);
+}
+
+TEST(Preprocess, DropsShortReadsAndCounts) {
+  ReadSet input;
+  input.add(Read{"long", "ACGTACGTACGT", "", kInvalidRead, false});
+  input.add(Read{"short", "ACG", "", kInvalidRead, false});
+  PreprocessConfig cfg;
+  cfg.window_len = 0;
+  cfg.min_length = 5;
+  PreprocessStats stats;
+  const auto out = preprocess(input, cfg, &stats);
+  EXPECT_EQ(out.size(), 2u);  // long + its rc
+  EXPECT_EQ(stats.dropped_short, 1u);
+}
+
+TEST(Preprocess, ReverseComplementsCanBeDisabled) {
+  ReadSet input;
+  input.add(Read{"a", "ACGTACGT", "", kInvalidRead, false});
+  PreprocessConfig cfg;
+  cfg.window_len = 0;
+  cfg.min_length = 4;
+  cfg.add_reverse_complements = false;
+  const auto out = preprocess(input, cfg);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Subset splitting
+// ---------------------------------------------------------------------------
+
+TEST(SubsetSplit, CoversAllReadsDisjointly) {
+  const auto subsets = split_into_subsets(10, 3);
+  ASSERT_EQ(subsets.size(), 3u);
+  EXPECT_EQ(subsets[0].size(), 4u);
+  EXPECT_EQ(subsets[1].size(), 3u);
+  EXPECT_EQ(subsets[2].size(), 3u);
+  std::vector<bool> seen(10, false);
+  for (const auto& s : subsets) {
+    for (const ReadId id : s) {
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+  for (const bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(SubsetSplit, MoreSubsetsThanReads) {
+  const auto subsets = split_into_subsets(2, 5);
+  ASSERT_EQ(subsets.size(), 5u);
+  EXPECT_EQ(subsets[0].size(), 1u);
+  EXPECT_EQ(subsets[1].size(), 1u);
+  EXPECT_TRUE(subsets[2].empty());
+}
+
+TEST(SubsetSplit, ZeroSubsetsRejected) {
+  EXPECT_THROW(split_into_subsets(10, 0), Error);
+}
+
+TEST(ReadSet, TotalBases) {
+  ReadSet reads;
+  reads.add(Read{"a", "ACGT", "", kInvalidRead, false});
+  reads.add(Read{"b", "AC", "", kInvalidRead, false});
+  EXPECT_EQ(reads.total_bases(), 6u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Parallel preprocessing
+// ---------------------------------------------------------------------------
+
+class ParallelPreprocess : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelPreprocess, MatchesSerialExactly) {
+  ReadSet input;
+  // Mixed bag: good reads, low-quality tails, too-short reads.
+  input.add(Read{"good1", "ACGTACGTACGTACGTACGTACGTACGTACGT",
+                 std::string(32, 'I'), kInvalidRead, false});
+  input.add(Read{"short", "ACGTA", "IIIII", kInvalidRead, false});
+  for (int i = 0; i < 20; ++i) {
+    std::string seq, qual;
+    for (int j = 0; j < 60; ++j) {
+      seq.push_back("ACGT"[(i * 7 + j) % 4]);
+      qual.push_back(j < 45 ? 'I' : '#');  // degraded tail
+    }
+    input.add(Read{"r" + std::to_string(i), seq, qual, kInvalidRead, false});
+  }
+  PreprocessConfig cfg;
+  cfg.window_len = 5;
+  cfg.min_quality = 20.0;
+  cfg.min_length = 20;
+
+  PreprocessStats serial_stats;
+  const ReadSet serial = preprocess(input, cfg, &serial_stats);
+  const auto parallel = preprocess_parallel(input, cfg, GetParam());
+
+  ASSERT_EQ(parallel.reads.size(), serial.size());
+  for (ReadId i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel.reads[i].name, serial[i].name);
+    EXPECT_EQ(parallel.reads[i].seq, serial[i].seq);
+    EXPECT_EQ(parallel.reads[i].qual, serial[i].qual);
+    EXPECT_EQ(parallel.reads[i].origin, serial[i].origin);
+    EXPECT_EQ(parallel.reads[i].reverse, serial[i].reverse);
+  }
+  EXPECT_EQ(parallel.stats.input_reads, serial_stats.input_reads);
+  EXPECT_EQ(parallel.stats.dropped_short, serial_stats.dropped_short);
+  EXPECT_EQ(parallel.stats.output_reads, serial_stats.output_reads);
+  EXPECT_EQ(parallel.stats.bases_trimmed, serial_stats.bases_trimmed);
+  EXPECT_GT(parallel.run.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelPreprocess,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(ParallelPreprocess2, MoreRanksReduceComputeMakespan) {
+  ReadSet input;
+  for (int i = 0; i < 400; ++i) {
+    std::string seq(100, 'A');
+    input.add(Read{"r" + std::to_string(i), seq, std::string(100, 'I'),
+                   kInvalidRead, false});
+  }
+  PreprocessConfig cfg;
+  const double t1 = preprocess_parallel(input, cfg, 1).run.makespan;
+  const double t4 = preprocess_parallel(input, cfg, 4).run.makespan;
+  EXPECT_GT(t1 / t4, 1.5);  // gather costs temper ideal 4x
+}
+
+}  // namespace
+}  // namespace focus::io

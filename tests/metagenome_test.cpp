@@ -1,0 +1,122 @@
+// Metagenome-level integration tests: assembling a multi-genus community and
+// checking genus separation, classification agreement, and the Fig. 7
+// community-structure signal end to end.
+#include <gtest/gtest.h>
+
+#include "core/assembler.hpp"
+#include "core/classify.hpp"
+#include "core/community.hpp"
+#include "partition/partition.hpp"
+#include "sim/datasets.hpp"
+
+namespace focus::core {
+namespace {
+
+struct MetagenomeRun {
+  sim::Dataset dataset;
+  AssemblyResult result;
+};
+
+const MetagenomeRun& shared_run() {
+  static const MetagenomeRun run = [] {
+    MetagenomeRun r;
+    r.dataset = sim::make_dataset(1, /*scale=*/0.35, /*coverage=*/10.0);
+    FocusConfig cfg;
+    cfg.partitions = 16;
+    cfg.ranks = 4;
+    cfg.overlap.subsets = 3;
+    r.result = assemble_reads(r.dataset.data.reads, cfg);
+    return r;
+  }();
+  return run;
+}
+
+TEST(Metagenome, ProducesSubstantialAssembly) {
+  const auto& run = shared_run();
+  EXPECT_GT(run.result.contigs.size(), 20u);
+  EXPECT_GT(run.result.stats.n50, 150u);
+  EXPECT_GT(run.result.stats.total_bases,
+            run.dataset.community.total_genome_bases() / 4);
+}
+
+TEST(Metagenome, ContigsAreGenusPure) {
+  // Classify assembled contigs against the reference genomes: bulk sequence
+  // diverges 15% between genera, so a correctly assembled (non-chimeric)
+  // contig classifies cleanly.
+  const auto& run = shared_run();
+  const KmerClassifier classifier(run.dataset.community, 21);
+  std::size_t classified = 0, total_long = 0;
+  for (const auto& contig : run.result.contigs) {
+    if (contig.size() < 200) continue;
+    ++total_long;
+    if (classifier.classify(contig) != kUnclassified) ++classified;
+  }
+  ASSERT_GT(total_long, 10u);
+  EXPECT_GT(static_cast<double>(classified) / static_cast<double>(total_long),
+            0.9);
+}
+
+TEST(Metagenome, GroundTruthAndClassifierAgreeOnReads) {
+  const auto& run = shared_run();
+  const KmerClassifier classifier(run.dataset.community, 21);
+  std::size_t agree = 0, both = 0;
+  for (ReadId i = 0; i < run.result.reads.size(); ++i) {
+    const ReadId origin = run.result.reads[i].origin;
+    if (origin == kInvalidRead) continue;
+    const auto truth = run.dataset.data.provenance[origin].genus;
+    const auto called = classifier.classify(run.result.reads[i].seq);
+    if (called == kUnclassified) continue;
+    ++both;
+    if (called == truth) ++agree;
+  }
+  ASSERT_GT(both, run.result.reads.size() / 2);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(both), 0.95);
+}
+
+TEST(Metagenome, PartitioningExposesCommunityStructure) {
+  // The Fig. 7 signal as a hard assertion: genus concentration far above
+  // uniform and within-phylum correlation above between-phyla correlation.
+  const auto& run = shared_run();
+  std::vector<std::uint32_t> truth(run.result.reads.size(), kUnclassified);
+  for (ReadId i = 0; i < run.result.reads.size(); ++i) {
+    const ReadId origin = run.result.reads[i].origin;
+    if (origin != kInvalidRead) {
+      truth[i] = run.dataset.data.provenance[origin].genus;
+    }
+  }
+  std::vector<std::string> names, phyla;
+  for (const auto& g : run.dataset.community.genera) {
+    names.push_back(g.name);
+    phyla.push_back(g.phylum);
+  }
+  const auto matrix = genus_partition_distribution(
+      truth, run.result.read_partition, names, 16);
+  const auto conc = concentration(matrix);
+  double mean_conc = 0.0;
+  for (const double c : conc) mean_conc += c;
+  mean_conc /= static_cast<double>(conc.size());
+  EXPECT_GT(mean_conc, 2.5 / 16.0);  // at least 2.5x uniform
+
+  const auto cc = phylum_coclustering(matrix, phyla);
+  EXPECT_GT(cc.within_phylum, cc.between_phyla);
+}
+
+TEST(Metagenome, HybridGraphMuchSmallerThanOverlapGraph) {
+  const auto& run = shared_run();
+  EXPECT_LT(run.result.hybrid.hybrid_graph().node_count() * 2,
+            run.result.overlap_graph.node_count());
+}
+
+TEST(Metagenome, EdgeCutSmallFractionOfTotalWeight) {
+  // Paper Table II: cuts are a small fraction of the total overlap-graph
+  // edge weight.
+  const auto& run = shared_run();
+  const auto cut = partition::edge_cut(run.result.overlap_graph,
+                                       run.result.read_partition);
+  EXPECT_LT(static_cast<double>(cut),
+            0.1 * static_cast<double>(
+                      run.result.overlap_graph.total_edge_weight()));
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,408 @@
+// Tests for graph partitioning: metrics, greedy graph growing, KL bisection
+// refinement, global k-way refinement, and the multilevel driver (§IV).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/coarsen.hpp"
+#include "partition/ggg.hpp"
+#include "partition/kl.hpp"
+#include "partition/kway.hpp"
+#include "partition/mlpart.hpp"
+#include "partition/partition.hpp"
+
+namespace focus::partition {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+Graph random_graph(std::uint64_t seed, std::size_t n, std::size_t extra) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.add_edge(v, static_cast<NodeId>(rng.next_below(v)),
+               1 + static_cast<Weight>(rng.next_below(50)));
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u != v) b.add_edge(u, v, 1 + static_cast<Weight>(rng.next_below(50)));
+  }
+  return b.build();
+}
+
+// Two dense blobs joined by one light edge: the canonical bisection target.
+Graph two_blobs(std::size_t blob, Weight internal = 20, Weight bridge = 1) {
+  GraphBuilder b(2 * blob);
+  for (NodeId i = 0; i < blob; ++i) {
+    for (NodeId j = i + 1; j < blob; ++j) {
+      b.add_edge(i, j, internal);
+      b.add_edge(static_cast<NodeId>(blob + i),
+                 static_cast<NodeId>(blob + j), internal);
+    }
+  }
+  b.add_edge(0, static_cast<NodeId>(blob), bridge);
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, EdgeCutCountsCrossEdgesOnce) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 20);
+  b.add_edge(2, 3, 30);
+  const Graph g = b.build();
+  EXPECT_EQ(edge_cut(g, {0, 0, 1, 1}), 20);
+  EXPECT_EQ(edge_cut(g, {0, 1, 0, 1}), 60);
+  EXPECT_EQ(edge_cut(g, {0, 0, 0, 0}), 0);
+}
+
+TEST(Metrics, PartWeights) {
+  GraphBuilder b(3);
+  b.set_node_weight(0, 5);
+  b.set_node_weight(1, 3);
+  b.set_node_weight(2, 2);
+  b.add_edge(0, 1, 7);
+  const Graph g = b.build();
+  const auto nw = part_node_weights(g, {0, 1, 1}, 2);
+  EXPECT_EQ(nw[0], 5);
+  EXPECT_EQ(nw[1], 5);
+  const auto ew = part_edge_weights(g, {0, 1, 1}, 2);
+  EXPECT_EQ(ew[0], 7);
+  EXPECT_EQ(ew[1], 7);
+  EXPECT_DOUBLE_EQ(node_balance(g, {0, 1, 1}, 2), 1.0);
+}
+
+TEST(Metrics, IsComplete) {
+  EXPECT_TRUE(is_complete({0, 1, 1, 0}, 2));
+  EXPECT_FALSE(is_complete({0, kNoPart}, 2));
+  EXPECT_FALSE(is_complete({0, 2}, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Greedy graph growing
+// ---------------------------------------------------------------------------
+
+TEST(Ggg, ProducesCompleteBisection) {
+  const Graph g = random_graph(1, 60, 120);
+  Rng rng(2);
+  const auto part = greedy_graph_growing(g, rng);
+  ASSERT_EQ(part.size(), 60u);
+  EXPECT_TRUE(is_complete(part, 2));
+  // Both sides non-empty.
+  const auto nw = part_node_weights(g, part, 2);
+  EXPECT_GT(nw[0], 0);
+  EXPECT_GT(nw[1], 0);
+}
+
+TEST(Ggg, NodeWeightApproximatelyBalanced) {
+  const Graph g = random_graph(3, 100, 200);
+  Rng rng(4);
+  const auto part = greedy_graph_growing(g, rng);
+  EXPECT_LT(node_balance(g, part, 2), 1.25);
+}
+
+TEST(Ggg, FindsObviousBisectionOfTwoBlobs) {
+  const Graph g = two_blobs(8);
+  Rng rng(5);
+  const auto part = greedy_graph_growing(g, rng);
+  // The natural cut severs only the bridge; GGG should get close. Allow
+  // KL to be the final word, but the cut must be far below worst case.
+  EXPECT_LT(edge_cut(g, part), g.total_edge_weight() / 4);
+}
+
+TEST(Ggg, SingleNodeGraph) {
+  GraphBuilder b(1);
+  const Graph g = b.build();
+  Rng rng(6);
+  const auto part = greedy_graph_growing(g, rng);
+  ASSERT_EQ(part.size(), 1u);
+  EXPECT_GE(part[0], 0);
+}
+
+TEST(Ggg, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  Rng rng(7);
+  EXPECT_TRUE(greedy_graph_growing(g, rng).empty());
+}
+
+TEST(Ggg, DisconnectedGraphStillCovered) {
+  GraphBuilder b(10);
+  b.add_edge(0, 1, 5);
+  b.add_edge(2, 3, 5);  // plus 6 isolated nodes
+  const Graph g = b.build();
+  Rng rng(8);
+  const auto part = greedy_graph_growing(g, rng);
+  EXPECT_TRUE(is_complete(part, 2));
+}
+
+// ---------------------------------------------------------------------------
+// KL bisection refinement
+// ---------------------------------------------------------------------------
+
+TEST(Kl, NeverIncreasesCut) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = random_graph(seed, 40, 80);
+    Rng rng(seed * 7);
+    auto part = greedy_graph_growing(g, rng);
+    const Weight before = edge_cut(g, part);
+    const Weight after = kl_bisection_refine(g, part);
+    EXPECT_LE(after, before) << "seed " << seed;
+    EXPECT_EQ(after, edge_cut(g, part));
+    EXPECT_TRUE(is_complete(part, 2));
+  }
+}
+
+TEST(Kl, RepairsDeliberatelyBadBisection) {
+  const Graph g = two_blobs(6);
+  // Worst-case start: interleave the blobs.
+  std::vector<PartId> part(12);
+  for (NodeId v = 0; v < 12; ++v) part[v] = static_cast<PartId>(v % 2);
+  const Weight before = edge_cut(g, part);
+  const Weight after = kl_bisection_refine(g, part);
+  EXPECT_LT(after, before / 4);
+  // The ideal cut is the single bridge edge.
+  EXPECT_EQ(after, 1);
+}
+
+TEST(Kl, PreservesSideSizes) {
+  const Graph g = random_graph(11, 30, 60);
+  Rng rng(12);
+  auto part = greedy_graph_growing(g, rng);
+  const auto count_side = [&](PartId s) {
+    std::size_t n = 0;
+    for (const PartId p : part) {
+      if (p == s) ++n;
+    }
+    return n;
+  };
+  const auto before0 = count_side(0);
+  kl_bisection_refine(g, part);
+  EXPECT_EQ(count_side(0), before0);  // pure pair swaps
+}
+
+TEST(Kl, NaiveAndDiagonalScanningAgreeOnCutQuality) {
+  for (std::uint64_t seed = 20; seed < 25; ++seed) {
+    const Graph g = random_graph(seed, 24, 40);
+    Rng rng_a(99), rng_b(99);
+    auto part_a = greedy_graph_growing(g, rng_a);
+    auto part_b = part_a;
+    KlConfig diag;
+    diag.diagonal_scanning = true;
+    KlConfig naive;
+    naive.diagonal_scanning = false;
+    const Weight cut_a = kl_bisection_refine(g, part_a, diag);
+    const Weight cut_b = kl_bisection_refine(g, part_b, naive);
+    // Both are hill-climbers over the same move set; allow small divergence
+    // from tie-breaking but require comparable quality.
+    EXPECT_NEAR(static_cast<double>(cut_a), static_cast<double>(cut_b),
+                0.15 * static_cast<double>(std::max<Weight>(cut_a, 10)));
+  }
+}
+
+TEST(Kl, RejectsNonBisection) {
+  const Graph g = random_graph(30, 10, 10);
+  std::vector<PartId> part(10, 0);
+  part[0] = 2;
+  EXPECT_THROW(kl_bisection_refine(g, part), Error);
+}
+
+TEST(Kl, HandlesAllOnOneSide) {
+  const Graph g = random_graph(31, 10, 10);
+  std::vector<PartId> part(10, 0);
+  const Weight cut = kl_bisection_refine(g, part);
+  EXPECT_EQ(cut, 0);  // no pairs to swap; cut stays zero
+}
+
+// ---------------------------------------------------------------------------
+// Global k-way KL refinement
+// ---------------------------------------------------------------------------
+
+TEST(Kway, NeverIncreasesCut) {
+  for (std::uint64_t seed = 40; seed < 48; ++seed) {
+    const Graph g = random_graph(seed, 50, 100);
+    Rng rng(seed);
+    std::vector<PartId> part(50);
+    for (auto& p : part) p = static_cast<PartId>(rng.next_below(4));
+    const Weight before = edge_cut(g, part);
+    const Weight after = kway_kl_refine(g, part, 4);
+    EXPECT_LE(after, before);
+    EXPECT_EQ(after, edge_cut(g, part));
+    EXPECT_TRUE(is_complete(part, 4));
+  }
+}
+
+TEST(Kway, RespectsBalanceBound) {
+  const Graph g = random_graph(50, 60, 120);
+  Rng rng(51);
+  std::vector<PartId> part(60);
+  for (NodeId v = 0; v < 60; ++v) part[v] = static_cast<PartId>(v % 4);
+  KwayConfig cfg;
+  cfg.balance_bound = 1.03;
+  kway_kl_refine(g, part, 4, cfg);
+  const auto nw = part_node_weights(g, part, 4);
+  const auto mx = *std::max_element(nw.begin(), nw.end());
+  const auto mn = *std::min_element(nw.begin(), nw.end());
+  // Moves only happen into parts lighter than 1.03x the source, so the final
+  // spread stays moderate (each move shifts one unit node weight).
+  EXPECT_LT(static_cast<double>(mx),
+            1.2 * static_cast<double>(std::max<Weight>(mn, 1)));
+}
+
+TEST(Kway, SinglePartIsNoop) {
+  const Graph g = random_graph(52, 20, 30);
+  std::vector<PartId> part(20, 0);
+  EXPECT_EQ(kway_kl_refine(g, part, 1), 0);
+}
+
+TEST(Kway, FixesObviousMisassignments) {
+  // Two blobs, partitioned correctly except one traitor node per side.
+  const Graph g = two_blobs(6);
+  std::vector<PartId> part(12);
+  for (NodeId v = 0; v < 12; ++v) part[v] = v < 6 ? 0 : 1;
+  std::swap(part[2], part[8]);  // two traitors keep sizes balanced
+  const Weight after = kway_kl_refine(g, part, 2);
+  EXPECT_EQ(after, 1);  // only the bridge remains cut
+}
+
+TEST(Kway, RequiresCompletePartition) {
+  const Graph g = random_graph(53, 10, 10);
+  std::vector<PartId> part(10, kNoPart);
+  EXPECT_THROW(kway_kl_refine(g, part, 2), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Multilevel hierarchy partitioning
+// ---------------------------------------------------------------------------
+
+graph::GraphHierarchy hierarchy_of(const Graph& g) {
+  graph::CoarsenConfig cfg;
+  cfg.min_nodes = 8;
+  cfg.max_levels = 6;
+  return graph::build_multilevel(g, cfg);
+}
+
+TEST(MlPart, ProducesKCompleteParts) {
+  const Graph g = random_graph(60, 120, 240);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  for (const PartId k : {1, 2, 4, 8}) {
+    const auto result = partition_hierarchy(h, k, cfg);
+    EXPECT_EQ(result.parts, k);
+    ASSERT_EQ(result.levels.size(), h.depth());
+    for (std::size_t l = 0; l < h.depth(); ++l) {
+      EXPECT_TRUE(is_complete(result.levels[l], k)) << "level " << l;
+      ASSERT_EQ(result.levels[l].size(), h.levels[l].node_count());
+    }
+    EXPECT_EQ(result.finest_cut, edge_cut(g, result.levels[0]));
+    if (k > 1) {
+      // All k parts are non-empty on the finest level.
+      std::set<PartId> used(result.levels[0].begin(), result.levels[0].end());
+      EXPECT_EQ(used.size(), static_cast<std::size_t>(k));
+    }
+  }
+}
+
+TEST(MlPart, RejectsNonPowerOfTwo) {
+  const Graph g = random_graph(61, 20, 30);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  EXPECT_THROW(partition_hierarchy(h, 3, cfg), Error);
+  EXPECT_THROW(partition_hierarchy(h, 0, cfg), Error);
+}
+
+TEST(MlPart, BalanceIsReasonable) {
+  const Graph g = random_graph(62, 160, 320);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  const auto result = partition_hierarchy(h, 4, cfg);
+  EXPECT_LT(node_balance(g, result.levels[0], 4), 1.6);
+}
+
+TEST(MlPart, CutBeatsRandomPartition) {
+  const Graph g = two_blobs(16, 10, 2);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  const auto result = partition_hierarchy(h, 2, cfg);
+  Rng rng(63);
+  std::vector<PartId> random_part(g.node_count());
+  for (auto& p : random_part) p = static_cast<PartId>(rng.next_below(2));
+  EXPECT_LT(result.finest_cut, edge_cut(g, random_part) / 2);
+}
+
+TEST(MlPart, LiftPartitionConsistentWeights) {
+  const Graph g = random_graph(64, 80, 160);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  const auto result = partition_hierarchy(h, 4, cfg);
+  // Lifted partitions at coarse levels stay complete (majority vote).
+  for (std::size_t l = 1; l < h.depth(); ++l) {
+    EXPECT_TRUE(is_complete(result.levels[l], 4));
+  }
+}
+
+class MlPartParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlPartParallel, MatchesSerialResult) {
+  const Graph g = random_graph(70, 100, 200);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  const auto serial = partition_hierarchy(h, 8, cfg);
+  const auto parallel = partition_hierarchy_parallel(h, 8, cfg, GetParam());
+  ASSERT_EQ(parallel.partitioning.levels.size(), serial.levels.size());
+  for (std::size_t l = 0; l < serial.levels.size(); ++l) {
+    EXPECT_EQ(parallel.partitioning.levels[l], serial.levels[l])
+        << "level " << l << " ranks " << GetParam();
+  }
+  EXPECT_EQ(parallel.partitioning.finest_cut, serial.finest_cut);
+  EXPECT_GT(parallel.stats.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MlPartParallel,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(MlPartParallel2, MoreRanksReduceMakespan) {
+  const Graph g = random_graph(71, 300, 900);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  const double t1 =
+      partition_hierarchy_parallel(h, 16, cfg, 1).stats.makespan;
+  const double t8 =
+      partition_hierarchy_parallel(h, 16, cfg, 8).stats.makespan;
+  EXPECT_GT(t1 / t8, 1.5);  // meaningful parallel speedup in virtual time
+}
+
+TEST(MlPart, DeterministicForSeed) {
+  const Graph g = random_graph(72, 60, 120);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg;
+  cfg.seed = 1234;
+  const auto a = partition_hierarchy(h, 4, cfg);
+  const auto b = partition_hierarchy(h, 4, cfg);
+  EXPECT_EQ(a.levels[0], b.levels[0]);
+  cfg.seed = 9999;
+  const auto c = partition_hierarchy(h, 4, cfg);
+  // Different seed usually yields a different (but still valid) partition.
+  EXPECT_TRUE(is_complete(c.levels[0], 4));
+}
+
+TEST(MlPart, SingleNodeGraphAllParts) {
+  GraphBuilder b(1);
+  const Graph g = b.build();
+  graph::GraphHierarchy h;
+  h.levels.push_back(g);
+  PartitionerConfig cfg;
+  const auto result = partition_hierarchy(h, 2, cfg);
+  EXPECT_TRUE(is_complete(result.levels[0], 2));
+  EXPECT_EQ(result.finest_cut, 0);
+}
+
+}  // namespace
+}  // namespace focus::partition

@@ -1,0 +1,212 @@
+// Cross-module property tests: randomized sweeps over seeds asserting the
+// structural invariants the pipeline relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "align/overlapper.hpp"
+#include "common/rng.hpp"
+#include "dist/simplify.hpp"
+#include "dist/traverse.hpp"
+#include "graph/coarsen.hpp"
+#include "partition/kl.hpp"
+#include "partition/kway.hpp"
+#include "partition/mlpart.hpp"
+#include "partition/partition.hpp"
+#include "sim/genome.hpp"
+
+namespace focus {
+namespace {
+
+graph::Graph random_graph(std::uint64_t seed, std::size_t n, std::size_t extra) {
+  Rng rng(seed);
+  graph::GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.add_edge(v, static_cast<NodeId>(rng.next_below(v)),
+               1 + static_cast<Weight>(rng.next_below(40)));
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u != v) b.add_edge(u, v, 1 + static_cast<Weight>(rng.next_below(40)));
+  }
+  return b.build();
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---------------------------------------------------------------------------
+// Coarsening invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeedSweep, CoarseningPreservesMassAndNeverGrowsEdges) {
+  const auto g0 = random_graph(GetParam(), 150, 300);
+  graph::CoarsenConfig cfg;
+  cfg.min_nodes = 4;
+  cfg.seed = GetParam() * 3 + 1;
+  const auto h = graph::build_multilevel(g0, cfg);
+  for (std::size_t l = 1; l < h.depth(); ++l) {
+    EXPECT_EQ(h.levels[l].total_node_weight(), g0.total_node_weight());
+    EXPECT_LE(h.levels[l].total_edge_weight(),
+              h.levels[l - 1].total_edge_weight());
+    EXPECT_LE(h.levels[l].edge_count(), h.levels[l - 1].edge_count());
+    // Every parent id is valid and node weights aggregate exactly.
+    std::vector<Weight> agg(h.levels[l].node_count(), 0);
+    for (NodeId v = 0; v < h.levels[l - 1].node_count(); ++v) {
+      ASSERT_LT(h.parent[l - 1][v], h.levels[l].node_count());
+      agg[h.parent[l - 1][v]] += h.levels[l - 1].node_weight(v);
+    }
+    for (NodeId c = 0; c < h.levels[l].node_count(); ++c) {
+      EXPECT_EQ(agg[c], h.levels[l].node_weight(c));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeedSweep, KlRefinementIsMonotoneAndValid) {
+  const auto g = random_graph(GetParam() + 100, 60, 150);
+  Rng rng(GetParam());
+  std::vector<PartId> part(60);
+  for (NodeId v = 0; v < 60; ++v) part[v] = static_cast<PartId>(v % 2);
+  const Weight before = partition::edge_cut(g, part);
+  const Weight after = partition::kl_bisection_refine(g, part);
+  EXPECT_LE(after, before);
+  EXPECT_TRUE(partition::is_complete(part, 2));
+}
+
+TEST_P(SeedSweep, KwayRefinementIsMonotoneForEveryK) {
+  const auto g = random_graph(GetParam() + 200, 80, 200);
+  for (const PartId k : {2, 3, 5, 8}) {
+    Rng rng(GetParam() * 13 + static_cast<std::uint64_t>(k));
+    std::vector<PartId> part(80);
+    for (auto& p : part) p = static_cast<PartId>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    const Weight before = partition::edge_cut(g, part);
+    const Weight after = partition::kway_kl_refine(g, part, k);
+    EXPECT_LE(after, before) << "k=" << k;
+    EXPECT_TRUE(partition::is_complete(part, k));
+  }
+}
+
+TEST_P(SeedSweep, HierarchyPartitionIsDisjointCover) {
+  const auto g = random_graph(GetParam() + 300, 120, 260);
+  graph::CoarsenConfig ccfg;
+  ccfg.min_nodes = 8;
+  const auto h = graph::build_multilevel(g, ccfg);
+  partition::PartitionerConfig pcfg;
+  pcfg.seed = GetParam();
+  const auto result = partition::partition_hierarchy(h, 8, pcfg);
+  // Complete on every level; every part non-empty on the finest level.
+  for (std::size_t l = 0; l < h.depth(); ++l) {
+    EXPECT_TRUE(partition::is_complete(result.levels[l], 8));
+  }
+  std::set<PartId> used(result.levels[0].begin(), result.levels[0].end());
+  EXPECT_EQ(used.size(), 8u);
+  // The cut metric agrees with a fresh recomputation.
+  EXPECT_EQ(result.finest_cut, partition::edge_cut(g, result.levels[0]));
+}
+
+// ---------------------------------------------------------------------------
+// Overlap detection against ground truth
+// ---------------------------------------------------------------------------
+
+TEST_P(SeedSweep, OverlapperFindsAllTrueAdjacenciesAndNoFalseOnes) {
+  Rng rng(GetParam() + 400);
+  const std::string genome = sim::random_genome(1200, rng);
+  // Reads every 35 bp: adjacent reads overlap by 65, next-nearest by 30
+  // (below the 40 threshold).
+  io::ReadSet reads;
+  std::vector<std::size_t> starts;
+  for (std::size_t s = 0; s + 100 <= genome.size(); s += 35) {
+    reads.add(io::Read{"r" + std::to_string(s), genome.substr(s, 100), "",
+                       kInvalidRead, false});
+    starts.push_back(s);
+  }
+  align::OverlapperConfig cfg;
+  cfg.k = 12;
+  cfg.min_overlap = 40;
+  cfg.subsets = 3;
+  const auto overlaps = align::find_overlaps_serial(reads, cfg);
+
+  std::set<std::pair<ReadId, ReadId>> found;
+  for (const auto& o : overlaps) found.insert({o.query, o.ref});
+  // Exactly the adjacent pairs (i, i+1) must be present (random genomes can
+  // occasionally add a spurious repeat match; forbid only distant pairs).
+  for (ReadId i = 0; i + 1 < reads.size(); ++i) {
+    EXPECT_TRUE(found.contains({i, static_cast<ReadId>(i + 1)}))
+        << "missing adjacent overlap " << i;
+  }
+  for (const auto& [q, r] : found) {
+    EXPECT_LE(r - q, 1u) << "spurious distant overlap " << q << "-" << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simplification invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeedSweep, SimplifyReachesStructuralFixpoint) {
+  Rng rng(GetParam() + 500);
+  const std::string genome = sim::random_genome(2500, rng);
+  dist::AsmGraph g;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 10; ++i) {
+    chain.push_back(
+        g.add_node(genome.substr(static_cast<std::size_t>(i) * 200, 300), 5));
+  }
+  for (int i = 0; i + 1 < 10; ++i) g.add_edge(chain[i], chain[i + 1], 100);
+  // Random transitive shortcuts.
+  for (int i = 0; i + 2 < 10; ++i) {
+    if (rng.next_bool(0.5)) g.add_edge(chain[i], chain[i + 2], 20);
+  }
+  dist::SimplifyConfig cfg;
+  dist::simplify_serial(g, cfg);
+  // A second pass must find no transitive edges, false edges, or
+  // containments (those passes are idempotent by construction).
+  const auto second = dist::simplify_serial(g, cfg);
+  EXPECT_EQ(second.transitive_edges, 0u);
+  EXPECT_EQ(second.false_edges, 0u);
+  EXPECT_EQ(second.contained_nodes, 0u);
+}
+
+TEST_P(SeedSweep, TraversalPartitionsLiveNodes) {
+  Rng rng(GetParam() + 600);
+  dist::AsmGraph g;
+  // Random sparse DAG-ish structure.
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    g.add_node(sim::random_genome(120, rng), 1 + rng.next_below(8));
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto fanout = rng.next_below(3);
+    for (std::uint64_t f = 0; f < fanout; ++f) {
+      const auto to = static_cast<NodeId>(rng.next_below(n));
+      if (to != static_cast<NodeId>(i)) {
+        g.add_edge(static_cast<NodeId>(i), to, 40);
+      }
+    }
+  }
+  // Randomly remove some nodes.
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.2)) g.remove_node(static_cast<NodeId>(i));
+  }
+  const auto paths = dist::traverse_serial(g);
+  std::set<NodeId> covered;
+  for (const auto& path : paths) {
+    for (const NodeId v : path) {
+      EXPECT_TRUE(g.node_live(v));
+      EXPECT_TRUE(covered.insert(v).second);
+    }
+  }
+  EXPECT_EQ(covered.size(), g.live_node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace focus

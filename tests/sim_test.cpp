@@ -1,0 +1,311 @@
+// Tests for the metagenome simulator: genomes, phylogeny, read sampling,
+// ground-truth provenance, dataset registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+#include "sim/community.hpp"
+#include "sim/datasets.hpp"
+#include "sim/genome.hpp"
+#include "sim/sequencer.hpp"
+
+namespace focus::sim {
+namespace {
+
+TEST(Genome, RandomGenomeHasRequestedLengthAndAlphabet) {
+  Rng rng(1);
+  const auto g = random_genome(5000, rng);
+  EXPECT_EQ(g.size(), 5000u);
+  EXPECT_TRUE(dna::is_clean(g));
+}
+
+TEST(Genome, RandomGenomeBalancedComposition) {
+  Rng rng(2);
+  const auto g = random_genome(40000, rng);
+  for (const char base : {'A', 'C', 'G', 'T'}) {
+    const auto count = std::count(g.begin(), g.end(), base);
+    EXPECT_NEAR(static_cast<double>(count) / static_cast<double>(g.size()),
+                0.25, 0.02);
+  }
+}
+
+TEST(Genome, MutationRateApproximatelyRealized) {
+  Rng rng(3);
+  const auto g = random_genome(20000, rng);
+  MutationConfig mc;
+  mc.substitution_rate = 0.10;
+  const auto m = mutate_genome(g, mc, rng);
+  ASSERT_EQ(m.size(), g.size());  // no indels configured
+  EXPECT_NEAR(approximate_identity(g, m), 0.90, 0.01);
+}
+
+TEST(Genome, ZeroRatesAreIdentity) {
+  Rng rng(4);
+  const auto g = random_genome(1000, rng);
+  EXPECT_EQ(mutate_genome(g, MutationConfig{}, rng), g);
+}
+
+TEST(Genome, IndelsChangeLengthModestly) {
+  Rng rng(5);
+  const auto g = random_genome(10000, rng);
+  MutationConfig mc;
+  mc.insertion_rate = 0.01;
+  mc.deletion_rate = 0.01;
+  const auto m = mutate_genome(g, mc, rng);
+  EXPECT_NE(m.size(), g.size());
+  EXPECT_NEAR(static_cast<double>(m.size()),
+              static_cast<double>(g.size()), 0.05 * g.size());
+}
+
+TEST(Genome, InjectRepeatsKeepsLength) {
+  Rng rng(6);
+  auto g = random_genome(5000, rng);
+  const auto before = g.size();
+  inject_repeats(g, 200, 3, rng);
+  EXPECT_EQ(g.size(), before);
+  EXPECT_TRUE(dna::is_clean(g));
+}
+
+TEST(Genome, InjectRepeatsNoopOnTinyGenome) {
+  Rng rng(7);
+  auto g = random_genome(100, rng);
+  const auto copy = g;
+  inject_repeats(g, 200, 3, rng);  // genome < 2 * repeat_len
+  EXPECT_EQ(g, copy);
+}
+
+// ---------------------------------------------------------------------------
+// Community / phylogeny
+// ---------------------------------------------------------------------------
+
+PhylogenyConfig small_phylo() {
+  PhylogenyConfig cfg;
+  cfg.genome_length = 6000;
+  return cfg;
+}
+
+TEST(Community, BuildsRequestedGenera) {
+  Rng rng(10);
+  const auto c = build_community({{"GenA", "PhyX", 2.0},
+                                  {"GenB", "PhyX", 1.0},
+                                  {"GenC", "PhyY", 1.0}},
+                                 small_phylo(), rng);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.genera[0].name, "GenA");
+  EXPECT_EQ(c.genera[2].phylum, "PhyY");
+  EXPECT_EQ(c.index_of("GenB"), 1u);
+  EXPECT_THROW(c.index_of("Nope"), Error);
+  EXPECT_EQ(c.phyla(), (std::vector<std::string>{"PhyX", "PhyY"}));
+}
+
+TEST(Community, NormalizedAbundanceSumsToOne) {
+  Rng rng(11);
+  const auto c = build_community({{"A", "P", 3.0}, {"B", "P", 1.0}},
+                                 small_phylo(), rng);
+  const auto ab = c.normalized_abundance();
+  EXPECT_NEAR(ab[0], 0.75, 1e-12);
+  EXPECT_NEAR(ab[1], 0.25, 1e-12);
+}
+
+TEST(Community, WithinPhylumMoreSimilarThanBetween) {
+  Rng rng(12);
+  const auto c = build_community({{"A1", "P1", 1.0},
+                                  {"A2", "P1", 1.0},
+                                  {"B1", "P2", 1.0}},
+                                 small_phylo(), rng);
+  const double within =
+      approximate_identity(c.genera[0].genome, c.genera[1].genome);
+  const double between =
+      approximate_identity(c.genera[0].genome, c.genera[2].genome);
+  EXPECT_GT(within, between + 0.05);
+}
+
+TEST(Community, BulkDivergenceSeparatesGenera) {
+  // Bulk identity between same-phylum genera must be low enough that 100 bp
+  // overlaps fail a 90% identity gate; the conserved segments are the
+  // exception by design.
+  Rng rng(13);
+  PhylogenyConfig cfg = small_phylo();
+  cfg.conserved_segments = 0;  // look at bulk only
+  cfg.indel_rate = 0.0;
+  const auto c = build_community({{"A1", "P1", 1.0}, {"A2", "P1", 1.0}},
+                                 cfg, rng);
+  const double identity =
+      approximate_identity(c.genera[0].genome, c.genera[1].genome);
+  // Two genomes at genus_divergence = 0.15 each from the ancestor.
+  EXPECT_LT(identity, 0.80);
+}
+
+TEST(Community, RejectsBadInputs) {
+  Rng rng(14);
+  EXPECT_THROW(build_community({}, small_phylo(), rng), Error);
+  EXPECT_THROW(build_community({{"A", "P", 0.0}}, small_phylo(), rng), Error);
+  PhylogenyConfig tiny;
+  tiny.genome_length = 10;
+  EXPECT_THROW(build_community({{"A", "P", 1.0}}, tiny, rng), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Sequencer
+// ---------------------------------------------------------------------------
+
+Community one_genus_community(Rng& rng, std::size_t len = 5000) {
+  PhylogenyConfig cfg;
+  cfg.genome_length = len;
+  cfg.repeat_copies = 0;
+  return build_community({{"Solo", "P", 1.0}}, cfg, rng);
+}
+
+TEST(Sequencer, ProducesExpectedReadCountAndLengths) {
+  Rng rng(20);
+  const auto c = one_genus_community(rng);
+  SequencerConfig cfg;
+  cfg.read_length = 80;
+  cfg.coverage = 10.0;
+  const auto sim = shotgun_sequence(c, cfg, rng);
+  const auto expected =
+      static_cast<std::size_t>(10.0 * c.total_genome_bases() / 80.0);
+  EXPECT_EQ(sim.size(), expected);
+  ASSERT_EQ(sim.provenance.size(), sim.reads.size());
+  for (const auto& r : sim.reads) {
+    EXPECT_EQ(r.seq.size(), 80u);
+    EXPECT_EQ(r.qual.size(), 80u);
+  }
+}
+
+TEST(Sequencer, ProvenanceLocatesReads) {
+  Rng rng(21);
+  const auto c = one_genus_community(rng);
+  SequencerConfig cfg;
+  cfg.read_length = 100;
+  cfg.coverage = 3.0;
+  cfg.error_rate_5p = 0.0;
+  cfg.error_rate_3p = 0.0;
+  cfg.bad_tail_fraction = 0.0;
+  const auto sim = shotgun_sequence(c, cfg, rng);
+  for (ReadId i = 0; i < sim.reads.size(); ++i) {
+    const auto& prov = sim.provenance[i];
+    ASSERT_LT(prov.position + 100, c.genera[0].genome.size() + 1);
+    std::string truth = c.genera[0].genome.substr(prov.position, 100);
+    if (prov.reverse_strand) truth = dna::reverse_complement(truth);
+    EXPECT_EQ(sim.reads[i].seq, truth) << "read " << i;
+  }
+}
+
+TEST(Sequencer, ErrorRateWithinExpectedBand) {
+  Rng rng(22);
+  const auto c = one_genus_community(rng, 20000);
+  SequencerConfig cfg;
+  cfg.read_length = 100;
+  cfg.coverage = 5.0;
+  cfg.error_rate_5p = 0.01;
+  cfg.error_rate_3p = 0.01;
+  cfg.bad_tail_fraction = 0.0;
+  const auto sim = shotgun_sequence(c, cfg, rng);
+  std::uint64_t mismatches = 0, bases = 0;
+  for (ReadId i = 0; i < sim.reads.size(); ++i) {
+    const auto& prov = sim.provenance[i];
+    std::string truth = c.genera[0].genome.substr(prov.position, 100);
+    if (prov.reverse_strand) truth = dna::reverse_complement(truth);
+    for (std::size_t j = 0; j < truth.size(); ++j) {
+      if (truth[j] != sim.reads[i].seq[j]) ++mismatches;
+      ++bases;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(mismatches) / static_cast<double>(bases),
+              0.01, 0.003);
+}
+
+TEST(Sequencer, QualityDeclinesTowardThreePrime) {
+  Rng rng(23);
+  const auto c = one_genus_community(rng);
+  SequencerConfig cfg;
+  cfg.bad_tail_fraction = 0.0;
+  const auto sim = shotgun_sequence(c, cfg, rng);
+  double q_start = 0.0, q_end = 0.0;
+  for (const auto& r : sim.reads) {
+    q_start += r.qual.front() - '!';
+    q_end += r.qual.back() - '!';
+  }
+  EXPECT_GT(q_start / sim.size(), q_end / sim.size() + 8.0);
+}
+
+TEST(Sequencer, AbundanceDrivesGenusSampling) {
+  Rng rng(24);
+  PhylogenyConfig pc;
+  pc.genome_length = 4000;
+  const auto c = build_community({{"Hi", "P", 9.0}, {"Lo", "P", 1.0}}, pc, rng);
+  SequencerConfig cfg;
+  cfg.coverage = 20.0;
+  const auto sim = shotgun_sequence(c, cfg, rng);
+  std::size_t hi = 0;
+  for (const auto& p : sim.provenance) {
+    if (p.genus == 0) ++hi;
+  }
+  EXPECT_NEAR(static_cast<double>(hi) / sim.size(), 0.9, 0.03);
+}
+
+TEST(Sequencer, RejectsImpossibleConfigs) {
+  Rng rng(25);
+  const auto c = one_genus_community(rng, 1000);
+  SequencerConfig cfg;
+  cfg.read_length = 5000;  // longer than the genome
+  EXPECT_THROW(shotgun_sequence(c, cfg, rng), Error);
+  SequencerConfig cfg2;
+  cfg2.coverage = -1.0;
+  EXPECT_THROW(shotgun_sequence(c, cfg2, rng), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset registry
+// ---------------------------------------------------------------------------
+
+TEST(Datasets, ThreeDatasetsWithPaperGenera) {
+  EXPECT_EQ(dataset_count(), 3);
+  const auto& table = genus_phylum_table();
+  EXPECT_EQ(table.size(), 10u);
+  // Spot-check the phylum assignments the paper discusses.
+  for (const auto& [genus, phylum] : table) {
+    if (genus == "Roseburia" || genus == "Clostridium" ||
+        genus == "Eubacterium") {
+      EXPECT_EQ(phylum, "Firmicutes") << genus;
+    }
+    if (genus == "Bacteroides" || genus == "Prevotella") {
+      EXPECT_EQ(phylum, "Bacteroidetes") << genus;
+    }
+  }
+}
+
+TEST(Datasets, MakeDatasetDeterministic) {
+  const auto a = make_dataset(1, 0.25, 4.0);
+  const auto b = make_dataset(1, 0.25, 4.0);
+  EXPECT_EQ(a.name, "D1");
+  EXPECT_EQ(a.sra_analog, "SRR513170");
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (ReadId i = 0; i < a.data.size(); ++i) {
+    EXPECT_EQ(a.data.reads[i].seq, b.data.reads[i].seq);
+  }
+}
+
+TEST(Datasets, DatasetsDiffer) {
+  const auto d1 = make_dataset(1, 0.25, 3.0);
+  const auto d2 = make_dataset(2, 0.25, 3.0);
+  EXPECT_NE(d1.community.genera[0].genome, d2.community.genera[0].genome);
+}
+
+TEST(Datasets, HundredBpReadsLikePaper) {
+  const auto d = make_dataset(3, 0.25, 3.0);
+  EXPECT_EQ(d.read_length(), 100u);
+  EXPECT_EQ(d.community.size(), 10u);
+}
+
+TEST(Datasets, InvalidIndexRejected) {
+  EXPECT_THROW(make_dataset(0), Error);
+  EXPECT_THROW(make_dataset(4), Error);
+  EXPECT_THROW(make_dataset(1, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace focus::sim

@@ -1,0 +1,282 @@
+// Tests for variant detection on the assembly graph (the paper's §VI-D
+// future-work extension).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "dist/variants.hpp"
+#include "sim/genome.hpp"
+
+namespace focus::dist {
+namespace {
+
+std::string random_seq(Rng& rng, std::size_t len) {
+  return sim::random_genome(len, rng);
+}
+
+// Builds a bubble: pre -> {allele_a | allele_b} -> post, where the alleles
+// differ by `snps` substitutions.
+struct BubbleFixture {
+  AsmGraph g;
+  NodeId pre, a, b, post;
+
+  explicit BubbleFixture(std::uint64_t seed, int snps, Weight cov_a = 8,
+                         Weight cov_b = 3) {
+    Rng rng(seed);
+    const std::string genome = random_seq(rng, 800);
+    std::string allele_a = genome.substr(150, 250);
+    std::string allele_b = allele_a;
+    for (int s = 0; s < snps; ++s) {
+      const std::size_t pos = 20 + static_cast<std::size_t>(s) * 40;
+      allele_b[pos] = allele_b[pos] == 'A' ? 'C' : 'A';
+    }
+    pre = g.add_node(genome.substr(0, 200), 10);
+    a = g.add_node(allele_a, cov_a);
+    b = g.add_node(allele_b, cov_b);
+    post = g.add_node(genome.substr(350, 200), 10);
+    g.add_edge(pre, a, 50);
+    g.add_edge(pre, b, 50);
+    g.add_edge(a, post, 50);
+    g.add_edge(b, post, 50);
+  }
+};
+
+TEST(Variants, DetectsSnpBubble) {
+  BubbleFixture fx(1, /*snps=*/3);
+  const auto variants = find_variants_serial(fx.g);
+  ASSERT_EQ(variants.size(), 1u);
+  const Variant& v = variants[0];
+  EXPECT_EQ(v.branch_point, fx.pre);
+  EXPECT_EQ(v.merge_point, fx.post);
+  EXPECT_EQ(v.major_allele, fx.a);  // coverage 8 > 3
+  EXPECT_EQ(v.minor_allele, fx.b);
+  EXPECT_EQ(v.major_coverage, 8);
+  EXPECT_EQ(v.minor_coverage, 3);
+  EXPECT_EQ(v.mismatch_sites, 3u);
+  EXPECT_EQ(v.indel_sites, 0u);
+  EXPECT_NEAR(v.identity, 247.0 / 250.0, 1e-4);
+}
+
+TEST(Variants, UnrelatedBranchesAreNotVariants) {
+  Rng rng(2);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 600);
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  // Two branches with unrelated sequence (a repeat boundary, not alleles).
+  const NodeId x = g.add_node(random_seq(rng, 250), 5);
+  const NodeId y = g.add_node(random_seq(rng, 250), 5);
+  const NodeId post = g.add_node(genome.substr(400, 200), 10);
+  g.add_edge(pre, x, 50);
+  g.add_edge(pre, y, 50);
+  g.add_edge(x, post, 50);
+  g.add_edge(y, post, 50);
+  EXPECT_TRUE(find_variants_serial(g).empty());
+}
+
+TEST(Variants, LengthRatioGuard) {
+  Rng rng(3);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 900);
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  const NodeId x = g.add_node(genome.substr(150, 100), 5);
+  const NodeId y = g.add_node(genome.substr(150, 400), 5);  // 4x longer
+  const NodeId post = g.add_node(genome.substr(540, 200), 10);
+  g.add_edge(pre, x, 50);
+  g.add_edge(pre, y, 50);
+  g.add_edge(x, post, 50);
+  g.add_edge(y, post, 50);
+  VariantConfig cfg;
+  cfg.max_length_ratio = 1.3;
+  EXPECT_TRUE(find_variants_serial(g, cfg).empty());
+}
+
+TEST(Variants, IndelAlleleCounted) {
+  Rng rng(4);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 800);
+  std::string allele_a = genome.substr(150, 250);
+  std::string allele_b = allele_a;
+  allele_b.erase(100, 4);  // 4 bp deletion
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  g.add_node(allele_a, 6);
+  g.add_node(allele_b, 4);
+  const NodeId post = g.add_node(genome.substr(350, 200), 10);
+  g.add_edge(pre, 1, 50);
+  g.add_edge(pre, 2, 50);
+  g.add_edge(1, post, 50);
+  g.add_edge(2, post, 50);
+  const auto variants = find_variants_serial(g);
+  ASSERT_EQ(variants.size(), 1u);
+  EXPECT_EQ(variants[0].indel_sites, 4u);
+  EXPECT_EQ(variants[0].mismatch_sites, 0u);
+}
+
+TEST(Variants, CoverageTieBreaksById) {
+  BubbleFixture fx(5, 2, /*cov_a=*/5, /*cov_b=*/5);
+  const auto variants = find_variants_serial(fx.g);
+  ASSERT_EQ(variants.size(), 1u);
+  EXPECT_EQ(variants[0].major_allele, fx.a);  // lower id wins the tie
+}
+
+TEST(Variants, ChainWithoutBubblesIsQuiet) {
+  Rng rng(6);
+  AsmGraph g;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 6; ++i) chain.push_back(g.add_node(random_seq(rng, 150), 4));
+  for (int i = 0; i + 1 < 6; ++i) g.add_edge(chain[i], chain[i + 1], 60);
+  EXPECT_TRUE(find_variants_serial(g).empty());
+}
+
+TEST(Variants, ThreeAllelesYieldAllPairs) {
+  Rng rng(7);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 800);
+  std::string base = genome.substr(150, 250);
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  std::vector<NodeId> alleles;
+  for (int k = 0; k < 3; ++k) {
+    std::string allele = base;
+    if (k > 0) allele[30 * static_cast<std::size_t>(k)] = 'A';
+    alleles.push_back(g.add_node(allele, 4 + k));
+  }
+  const NodeId post = g.add_node(genome.substr(350, 200), 10);
+  for (const NodeId a : alleles) {
+    g.add_edge(pre, a, 50);
+    g.add_edge(a, post, 50);
+  }
+  const auto variants = find_variants_serial(g);
+  EXPECT_EQ(variants.size(), 3u);  // all C(3,2) pairs
+}
+
+TEST(Variants, MultiNodeBranchBubble) {
+  // Each allele is a chain of two contigs between the anchors.
+  Rng rng(10);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 1200);
+  std::string allele_a = genome.substr(150, 500);
+  std::string allele_b = allele_a;
+  for (int s = 0; s < 5; ++s) {
+    allele_b[50 + static_cast<std::size_t>(s) * 90] = 'A';
+  }
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  const NodeId a1 = g.add_node(allele_a.substr(0, 300), 6);
+  const NodeId a2 = g.add_node(allele_a.substr(200, 300), 6);
+  const NodeId b1 = g.add_node(allele_b.substr(0, 300), 2);
+  const NodeId b2 = g.add_node(allele_b.substr(200, 300), 2);
+  const NodeId post = g.add_node(genome.substr(600, 200), 10);
+  g.add_edge(pre, a1, 50);
+  g.add_edge(a1, a2, 100);
+  g.add_edge(a2, post, 50);
+  g.add_edge(pre, b1, 50);
+  g.add_edge(b1, b2, 100);
+  g.add_edge(b2, post, 50);
+  const auto variants = find_variants_serial(g);
+  ASSERT_EQ(variants.size(), 1u);
+  EXPECT_EQ(variants[0].major_allele, a1);
+  EXPECT_EQ(variants[0].minor_allele, b1);
+  EXPECT_EQ(variants[0].major_nodes, 2u);
+  EXPECT_EQ(variants[0].minor_nodes, 2u);
+  // Alleles mutated at a handful of positions; count depends on whether a
+  // site falls in the overlap region (counted once after merging).
+  EXPECT_GE(variants[0].mismatch_sites, 4u);
+  EXPECT_LE(variants[0].mismatch_sites, 6u);
+}
+
+TEST(Variants, OpenBubbleCalledFromDivergingChains) {
+  // Haplotype-style structure: the two branches never re-merge.
+  Rng rng(11);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 1000);
+  std::string allele_a = genome.substr(150, 400);
+  std::string allele_b = allele_a;
+  allele_b[100] = allele_b[100] == 'C' ? 'G' : 'C';
+  allele_b[250] = allele_b[250] == 'T' ? 'A' : 'T';
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  const NodeId a = g.add_node(allele_a, 7);
+  const NodeId b = g.add_node(allele_b, 3);
+  g.add_edge(pre, a, 50);
+  g.add_edge(pre, b, 50);
+  const auto variants = find_variants_serial(g);
+  ASSERT_EQ(variants.size(), 1u);
+  EXPECT_EQ(variants[0].merge_point, kInvalidNode);  // open bubble
+  EXPECT_EQ(variants[0].mismatch_sites, 2u);
+  EXPECT_EQ(variants[0].major_allele, a);
+}
+
+TEST(Variants, OpenBubblesCanBeDisabled) {
+  Rng rng(12);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 1000);
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  g.add_node(genome.substr(150, 400), 7);
+  g.add_node(genome.substr(150, 400), 3);
+  g.add_edge(pre, 1, 50);
+  g.add_edge(pre, 2, 50);
+  VariantConfig cfg;
+  cfg.allow_open_bubbles = false;
+  EXPECT_TRUE(find_variants_serial(g, cfg).empty());
+  cfg.allow_open_bubbles = true;
+  EXPECT_EQ(find_variants_serial(g, cfg).size(), 1u);
+}
+
+TEST(Variants, ShortOpenPrefixesNotCalled) {
+  Rng rng(13);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 600);
+  const NodeId pre = g.add_node(genome.substr(0, 200), 10);
+  g.add_node(genome.substr(150, 60), 7);  // below min_open_prefix
+  g.add_node(genome.substr(150, 60), 3);
+  g.add_edge(pre, 1, 50);
+  g.add_edge(pre, 2, 50);
+  EXPECT_TRUE(find_variants_serial(g).empty());
+}
+
+class VariantsParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantsParallel, MatchesSerial) {
+  // Several bubbles across a longer chain, striped over 4 partitions.
+  Rng rng(8);
+  AsmGraph g;
+  const std::string genome = random_seq(rng, 4000);
+  std::vector<NodeId> anchors;
+  for (int i = 0; i < 5; ++i) {
+    anchors.push_back(
+        g.add_node(genome.substr(static_cast<std::size_t>(i) * 700, 300), 10));
+  }
+  for (int i = 0; i + 1 < 5; ++i) {
+    std::string allele_a =
+        genome.substr(static_cast<std::size_t>(i) * 700 + 250, 500);
+    std::string allele_b = allele_a;
+    allele_b[100] = allele_b[100] == 'G' ? 'T' : 'G';
+    const NodeId a = g.add_node(allele_a, 7);
+    const NodeId b = g.add_node(allele_b, 2);
+    g.add_edge(anchors[i], a, 50);
+    g.add_edge(anchors[i], b, 50);
+    g.add_edge(a, anchors[i + 1], 50);
+    g.add_edge(b, anchors[i + 1], 50);
+  }
+
+  const auto serial = find_variants_serial(g);
+  ASSERT_EQ(serial.size(), 4u);
+
+  std::vector<PartId> part(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    part[v] = static_cast<PartId>(v % 4);
+  }
+  const auto parallel =
+      find_variants_parallel(g, part, 4, VariantConfig{}, GetParam());
+  ASSERT_EQ(parallel.variants.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel.variants[i].branch_point, serial[i].branch_point);
+    EXPECT_EQ(parallel.variants[i].major_allele, serial[i].major_allele);
+    EXPECT_EQ(parallel.variants[i].mismatch_sites, serial[i].mismatch_sites);
+  }
+  EXPECT_GT(parallel.run.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, VariantsParallel,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace focus::dist

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_balance_bound.dir/ablation_balance_bound.cpp.o"
+  "CMakeFiles/ablation_balance_bound.dir/ablation_balance_bound.cpp.o.d"
+  "ablation_balance_bound"
+  "ablation_balance_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balance_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

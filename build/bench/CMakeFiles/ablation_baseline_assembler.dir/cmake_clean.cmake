@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_assembler.dir/ablation_baseline_assembler.cpp.o"
+  "CMakeFiles/ablation_baseline_assembler.dir/ablation_baseline_assembler.cpp.o.d"
+  "ablation_baseline_assembler"
+  "ablation_baseline_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_kl_strategies.cpp" "bench/CMakeFiles/ablation_kl_strategies.dir/ablation_kl_strategies.cpp.o" "gcc" "bench/CMakeFiles/ablation_kl_strategies.dir/ablation_kl_strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/focus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/focus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/focus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/focus_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/focus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/focus_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/focus_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kl_strategies.dir/ablation_kl_strategies.cpp.o"
+  "CMakeFiles/ablation_kl_strategies.dir/ablation_kl_strategies.cpp.o.d"
+  "ablation_kl_strategies"
+  "ablation_kl_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kl_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

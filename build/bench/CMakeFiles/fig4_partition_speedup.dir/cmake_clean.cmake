@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_partition_speedup.dir/fig4_partition_speedup.cpp.o"
+  "CMakeFiles/fig4_partition_speedup.dir/fig4_partition_speedup.cpp.o.d"
+  "fig4_partition_speedup"
+  "fig4_partition_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_partition_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

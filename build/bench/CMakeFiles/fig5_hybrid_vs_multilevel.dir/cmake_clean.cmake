@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hybrid_vs_multilevel.dir/fig5_hybrid_vs_multilevel.cpp.o"
+  "CMakeFiles/fig5_hybrid_vs_multilevel.dir/fig5_hybrid_vs_multilevel.cpp.o.d"
+  "fig5_hybrid_vs_multilevel"
+  "fig5_hybrid_vs_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hybrid_vs_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

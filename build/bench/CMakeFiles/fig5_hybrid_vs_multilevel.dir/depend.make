@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_hybrid_vs_multilevel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_distributed_algorithms.dir/fig6_distributed_algorithms.cpp.o"
+  "CMakeFiles/fig6_distributed_algorithms.dir/fig6_distributed_algorithms.cpp.o.d"
+  "fig6_distributed_algorithms"
+  "fig6_distributed_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_distributed_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

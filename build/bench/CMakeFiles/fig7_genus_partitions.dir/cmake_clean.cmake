@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_genus_partitions.dir/fig7_genus_partitions.cpp.o"
+  "CMakeFiles/fig7_genus_partitions.dir/fig7_genus_partitions.cpp.o.d"
+  "fig7_genus_partitions"
+  "fig7_genus_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_genus_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_genus_partitions.
+# This may be replaced when dependencies are built.

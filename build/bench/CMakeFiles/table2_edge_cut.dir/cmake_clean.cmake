@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_edge_cut.dir/table2_edge_cut.cpp.o"
+  "CMakeFiles/table2_edge_cut.dir/table2_edge_cut.cpp.o.d"
+  "table2_edge_cut"
+  "table2_edge_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_edge_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

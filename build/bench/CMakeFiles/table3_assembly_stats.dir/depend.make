@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_assembly_stats.
+# This may be replaced when dependencies are built.

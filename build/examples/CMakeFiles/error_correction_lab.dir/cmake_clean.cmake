@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_correction_lab.dir/error_correction_lab.cpp.o"
+  "CMakeFiles/error_correction_lab.dir/error_correction_lab.cpp.o.d"
+  "error_correction_lab"
+  "error_correction_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_correction_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for error_correction_lab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome_community.dir/metagenome_community.cpp.o"
+  "CMakeFiles/metagenome_community.dir/metagenome_community.cpp.o.d"
+  "metagenome_community"
+  "metagenome_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

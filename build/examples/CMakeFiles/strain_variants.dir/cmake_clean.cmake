@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strain_variants.dir/strain_variants.cpp.o"
+  "CMakeFiles/strain_variants.dir/strain_variants.cpp.o.d"
+  "strain_variants"
+  "strain_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strain_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/banded_nw.cpp" "src/align/CMakeFiles/focus_align.dir/banded_nw.cpp.o" "gcc" "src/align/CMakeFiles/focus_align.dir/banded_nw.cpp.o.d"
+  "/root/repo/src/align/overlap.cpp" "src/align/CMakeFiles/focus_align.dir/overlap.cpp.o" "gcc" "src/align/CMakeFiles/focus_align.dir/overlap.cpp.o.d"
+  "/root/repo/src/align/overlapper.cpp" "src/align/CMakeFiles/focus_align.dir/overlapper.cpp.o" "gcc" "src/align/CMakeFiles/focus_align.dir/overlapper.cpp.o.d"
+  "/root/repo/src/align/suffix_array.cpp" "src/align/CMakeFiles/focus_align.dir/suffix_array.cpp.o" "gcc" "src/align/CMakeFiles/focus_align.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_align.dir/banded_nw.cpp.o"
+  "CMakeFiles/focus_align.dir/banded_nw.cpp.o.d"
+  "CMakeFiles/focus_align.dir/overlap.cpp.o"
+  "CMakeFiles/focus_align.dir/overlap.cpp.o.d"
+  "CMakeFiles/focus_align.dir/overlapper.cpp.o"
+  "CMakeFiles/focus_align.dir/overlapper.cpp.o.d"
+  "CMakeFiles/focus_align.dir/suffix_array.cpp.o"
+  "CMakeFiles/focus_align.dir/suffix_array.cpp.o.d"
+  "libfocus_align.a"
+  "libfocus_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_baseline.dir/string_graph_assembler.cpp.o"
+  "CMakeFiles/focus_baseline.dir/string_graph_assembler.cpp.o.d"
+  "libfocus_baseline.a"
+  "libfocus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_common.dir/dna.cpp.o"
+  "CMakeFiles/focus_common.dir/dna.cpp.o.d"
+  "CMakeFiles/focus_common.dir/error.cpp.o"
+  "CMakeFiles/focus_common.dir/error.cpp.o.d"
+  "CMakeFiles/focus_common.dir/stats.cpp.o"
+  "CMakeFiles/focus_common.dir/stats.cpp.o.d"
+  "libfocus_common.a"
+  "libfocus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/asm_build.cpp" "src/core/CMakeFiles/focus_core.dir/asm_build.cpp.o" "gcc" "src/core/CMakeFiles/focus_core.dir/asm_build.cpp.o.d"
+  "/root/repo/src/core/assembler.cpp" "src/core/CMakeFiles/focus_core.dir/assembler.cpp.o" "gcc" "src/core/CMakeFiles/focus_core.dir/assembler.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/focus_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/focus_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/community.cpp" "src/core/CMakeFiles/focus_core.dir/community.cpp.o" "gcc" "src/core/CMakeFiles/focus_core.dir/community.cpp.o.d"
+  "/root/repo/src/core/consensus.cpp" "src/core/CMakeFiles/focus_core.dir/consensus.cpp.o" "gcc" "src/core/CMakeFiles/focus_core.dir/consensus.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/focus_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/focus_core.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/focus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/focus_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/focus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/focus_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/focus_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

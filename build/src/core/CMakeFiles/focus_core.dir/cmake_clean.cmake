@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_core.dir/asm_build.cpp.o"
+  "CMakeFiles/focus_core.dir/asm_build.cpp.o.d"
+  "CMakeFiles/focus_core.dir/assembler.cpp.o"
+  "CMakeFiles/focus_core.dir/assembler.cpp.o.d"
+  "CMakeFiles/focus_core.dir/classify.cpp.o"
+  "CMakeFiles/focus_core.dir/classify.cpp.o.d"
+  "CMakeFiles/focus_core.dir/community.cpp.o"
+  "CMakeFiles/focus_core.dir/community.cpp.o.d"
+  "CMakeFiles/focus_core.dir/consensus.cpp.o"
+  "CMakeFiles/focus_core.dir/consensus.cpp.o.d"
+  "CMakeFiles/focus_core.dir/stats.cpp.o"
+  "CMakeFiles/focus_core.dir/stats.cpp.o.d"
+  "libfocus_core.a"
+  "libfocus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/asm_graph.cpp" "src/dist/CMakeFiles/focus_dist.dir/asm_graph.cpp.o" "gcc" "src/dist/CMakeFiles/focus_dist.dir/asm_graph.cpp.o.d"
+  "/root/repo/src/dist/gfa.cpp" "src/dist/CMakeFiles/focus_dist.dir/gfa.cpp.o" "gcc" "src/dist/CMakeFiles/focus_dist.dir/gfa.cpp.o.d"
+  "/root/repo/src/dist/parallel.cpp" "src/dist/CMakeFiles/focus_dist.dir/parallel.cpp.o" "gcc" "src/dist/CMakeFiles/focus_dist.dir/parallel.cpp.o.d"
+  "/root/repo/src/dist/simplify.cpp" "src/dist/CMakeFiles/focus_dist.dir/simplify.cpp.o" "gcc" "src/dist/CMakeFiles/focus_dist.dir/simplify.cpp.o.d"
+  "/root/repo/src/dist/traverse.cpp" "src/dist/CMakeFiles/focus_dist.dir/traverse.cpp.o" "gcc" "src/dist/CMakeFiles/focus_dist.dir/traverse.cpp.o.d"
+  "/root/repo/src/dist/variants.cpp" "src/dist/CMakeFiles/focus_dist.dir/variants.cpp.o" "gcc" "src/dist/CMakeFiles/focus_dist.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/focus_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_dist.dir/asm_graph.cpp.o"
+  "CMakeFiles/focus_dist.dir/asm_graph.cpp.o.d"
+  "CMakeFiles/focus_dist.dir/gfa.cpp.o"
+  "CMakeFiles/focus_dist.dir/gfa.cpp.o.d"
+  "CMakeFiles/focus_dist.dir/parallel.cpp.o"
+  "CMakeFiles/focus_dist.dir/parallel.cpp.o.d"
+  "CMakeFiles/focus_dist.dir/simplify.cpp.o"
+  "CMakeFiles/focus_dist.dir/simplify.cpp.o.d"
+  "CMakeFiles/focus_dist.dir/traverse.cpp.o"
+  "CMakeFiles/focus_dist.dir/traverse.cpp.o.d"
+  "CMakeFiles/focus_dist.dir/variants.cpp.o"
+  "CMakeFiles/focus_dist.dir/variants.cpp.o.d"
+  "libfocus_dist.a"
+  "libfocus_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

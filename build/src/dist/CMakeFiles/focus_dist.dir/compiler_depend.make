@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for focus_dist.
+# This may be replaced when dependencies are built.

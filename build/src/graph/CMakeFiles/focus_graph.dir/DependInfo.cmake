@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coarsen.cpp" "src/graph/CMakeFiles/focus_graph.dir/coarsen.cpp.o" "gcc" "src/graph/CMakeFiles/focus_graph.dir/coarsen.cpp.o.d"
+  "/root/repo/src/graph/contiguity.cpp" "src/graph/CMakeFiles/focus_graph.dir/contiguity.cpp.o" "gcc" "src/graph/CMakeFiles/focus_graph.dir/contiguity.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/focus_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/focus_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/focus_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/focus_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/hybrid.cpp" "src/graph/CMakeFiles/focus_graph.dir/hybrid.cpp.o" "gcc" "src/graph/CMakeFiles/focus_graph.dir/hybrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/focus_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_graph.dir/coarsen.cpp.o"
+  "CMakeFiles/focus_graph.dir/coarsen.cpp.o.d"
+  "CMakeFiles/focus_graph.dir/contiguity.cpp.o"
+  "CMakeFiles/focus_graph.dir/contiguity.cpp.o.d"
+  "CMakeFiles/focus_graph.dir/digraph.cpp.o"
+  "CMakeFiles/focus_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/focus_graph.dir/graph.cpp.o"
+  "CMakeFiles/focus_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/focus_graph.dir/hybrid.cpp.o"
+  "CMakeFiles/focus_graph.dir/hybrid.cpp.o.d"
+  "libfocus_graph.a"
+  "libfocus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

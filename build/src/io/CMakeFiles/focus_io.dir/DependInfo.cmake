@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/fastx.cpp" "src/io/CMakeFiles/focus_io.dir/fastx.cpp.o" "gcc" "src/io/CMakeFiles/focus_io.dir/fastx.cpp.o.d"
+  "/root/repo/src/io/preprocess.cpp" "src/io/CMakeFiles/focus_io.dir/preprocess.cpp.o" "gcc" "src/io/CMakeFiles/focus_io.dir/preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_io.dir/fastx.cpp.o"
+  "CMakeFiles/focus_io.dir/fastx.cpp.o.d"
+  "CMakeFiles/focus_io.dir/preprocess.cpp.o"
+  "CMakeFiles/focus_io.dir/preprocess.cpp.o.d"
+  "libfocus_io.a"
+  "libfocus_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_mpr.dir/runtime.cpp.o"
+  "CMakeFiles/focus_mpr.dir/runtime.cpp.o.d"
+  "libfocus_mpr.a"
+  "libfocus_mpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_mpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

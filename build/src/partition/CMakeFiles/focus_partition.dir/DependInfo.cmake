@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/ggg.cpp" "src/partition/CMakeFiles/focus_partition.dir/ggg.cpp.o" "gcc" "src/partition/CMakeFiles/focus_partition.dir/ggg.cpp.o.d"
+  "/root/repo/src/partition/kl.cpp" "src/partition/CMakeFiles/focus_partition.dir/kl.cpp.o" "gcc" "src/partition/CMakeFiles/focus_partition.dir/kl.cpp.o.d"
+  "/root/repo/src/partition/kway.cpp" "src/partition/CMakeFiles/focus_partition.dir/kway.cpp.o" "gcc" "src/partition/CMakeFiles/focus_partition.dir/kway.cpp.o.d"
+  "/root/repo/src/partition/mlpart.cpp" "src/partition/CMakeFiles/focus_partition.dir/mlpart.cpp.o" "gcc" "src/partition/CMakeFiles/focus_partition.dir/mlpart.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/focus_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/focus_partition.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/focus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/focus_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_partition.dir/ggg.cpp.o"
+  "CMakeFiles/focus_partition.dir/ggg.cpp.o.d"
+  "CMakeFiles/focus_partition.dir/kl.cpp.o"
+  "CMakeFiles/focus_partition.dir/kl.cpp.o.d"
+  "CMakeFiles/focus_partition.dir/kway.cpp.o"
+  "CMakeFiles/focus_partition.dir/kway.cpp.o.d"
+  "CMakeFiles/focus_partition.dir/mlpart.cpp.o"
+  "CMakeFiles/focus_partition.dir/mlpart.cpp.o.d"
+  "CMakeFiles/focus_partition.dir/partition.cpp.o"
+  "CMakeFiles/focus_partition.dir/partition.cpp.o.d"
+  "libfocus_partition.a"
+  "libfocus_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

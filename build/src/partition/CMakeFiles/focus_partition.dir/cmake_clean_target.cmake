@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfocus_partition.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/community.cpp" "src/sim/CMakeFiles/focus_sim.dir/community.cpp.o" "gcc" "src/sim/CMakeFiles/focus_sim.dir/community.cpp.o.d"
+  "/root/repo/src/sim/datasets.cpp" "src/sim/CMakeFiles/focus_sim.dir/datasets.cpp.o" "gcc" "src/sim/CMakeFiles/focus_sim.dir/datasets.cpp.o.d"
+  "/root/repo/src/sim/genome.cpp" "src/sim/CMakeFiles/focus_sim.dir/genome.cpp.o" "gcc" "src/sim/CMakeFiles/focus_sim.dir/genome.cpp.o.d"
+  "/root/repo/src/sim/sequencer.cpp" "src/sim/CMakeFiles/focus_sim.dir/sequencer.cpp.o" "gcc" "src/sim/CMakeFiles/focus_sim.dir/sequencer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/focus_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/focus_mpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_sim.dir/community.cpp.o"
+  "CMakeFiles/focus_sim.dir/community.cpp.o.d"
+  "CMakeFiles/focus_sim.dir/datasets.cpp.o"
+  "CMakeFiles/focus_sim.dir/datasets.cpp.o.d"
+  "CMakeFiles/focus_sim.dir/genome.cpp.o"
+  "CMakeFiles/focus_sim.dir/genome.cpp.o.d"
+  "CMakeFiles/focus_sim.dir/sequencer.cpp.o"
+  "CMakeFiles/focus_sim.dir/sequencer.cpp.o.d"
+  "libfocus_sim.a"
+  "libfocus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_test.dir/align_test.cpp.o"
+  "CMakeFiles/align_test.dir/align_test.cpp.o.d"
+  "align_test"
+  "align_test.pdb"
+  "align_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

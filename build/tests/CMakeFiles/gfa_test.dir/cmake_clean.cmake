@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfa_test.dir/gfa_test.cpp.o"
+  "CMakeFiles/gfa_test.dir/gfa_test.cpp.o.d"
+  "gfa_test"
+  "gfa_test.pdb"
+  "gfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

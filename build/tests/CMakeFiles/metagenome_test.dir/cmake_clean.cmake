@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome_test.dir/metagenome_test.cpp.o"
+  "CMakeFiles/metagenome_test.dir/metagenome_test.cpp.o.d"
+  "metagenome_test"
+  "metagenome_test.pdb"
+  "metagenome_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

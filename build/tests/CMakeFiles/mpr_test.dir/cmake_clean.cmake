@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_test.dir/mpr_test.cpp.o"
+  "CMakeFiles/mpr_test.dir/mpr_test.cpp.o.d"
+  "mpr_test"
+  "mpr_test.pdb"
+  "mpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_asm.dir/focus_asm.cpp.o"
+  "CMakeFiles/focus_asm.dir/focus_asm.cpp.o.d"
+  "focus_asm"
+  "focus_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "align/overlapper.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/asm_build.hpp"
 #include "core/assembler.hpp"
@@ -81,9 +82,13 @@ inline DatasetBundle prepare_dataset(int index) {
                b.dataset.data.reads.size());
   b.reads = io::preprocess(b.dataset.data.reads, cfg.preprocess);
 
-  std::fprintf(stderr, "[prepare D%d] aligning %zu reads\n", index,
-               b.reads.size());
-  b.overlaps = align::find_overlaps_serial(b.reads, cfg.overlap);
+  std::fprintf(stderr, "[prepare D%d] aligning %zu reads (%u threads)\n",
+               index, b.reads.size(),
+               resolve_thread_count(cfg.overlap.threads));
+  // Pooled aligner: byte-identical to find_overlaps_serial, but uses the
+  // work-stealing pool (FOCUS_THREADS wide) so bundle preparation scales
+  // with the host.
+  b.overlaps = align::find_overlaps(b.reads, cfg.overlap);
 
   std::fprintf(stderr, "[prepare D%d] building graphs (%zu overlaps)\n", index,
                b.overlaps.size());

@@ -1,0 +1,171 @@
+// Serial vs work-stealing-pool wall-clock for the alignment and coarsening
+// hot paths, recorded as a BENCH json.
+//
+//   $ ./bench_threads [output.json]
+//
+// Measures find_overlaps_serial() against find_overlaps() at 1/2/4/8 pool
+// threads, and serial vs pooled heavy-edge-matching coarsening, on the D1
+// simulated benchmark dataset (FOCUS_BENCH_SCALE / FOCUS_BENCH_COVERAGE
+// apply). Every pooled run is checked byte-identical against the serial
+// reference before its timing is reported, so the json never records a
+// speedup bought with a wrong answer. Default output: bench_threads.json.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "graph/coarsen.hpp"
+
+namespace {
+
+using namespace focus;
+
+constexpr unsigned kWidths[] = {1, 2, 4, 8};
+constexpr int kRepeats = 3;  // best-of; absorbs allocator/cache warmup noise
+
+double best_of(int repeats, const std::function<double()>& run_once) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double t = run_once();
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+bool same_overlaps(const std::vector<align::Overlap>& a,
+                   const std::vector<align::Overlap>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].query != b[i].query || a[i].ref != b[i].ref ||
+        a[i].length != b[i].length || a[i].identity != b[i].identity ||
+        a[i].kind != b[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Series {
+  double serial_seconds = 0.0;
+  std::vector<double> pool_seconds;  // parallel to kWidths
+  bool identical = true;
+};
+
+void print_series(const char* name, const Series& s) {
+  std::printf("\n%s\n", name);
+  std::printf("  %-10s %12s %10s\n", "threads", "seconds", "speedup");
+  std::printf("  %-10s %12.3f %10s\n", "serial", s.serial_seconds, "1.00x");
+  for (std::size_t w = 0; w < s.pool_seconds.size(); ++w) {
+    std::printf("  %-10u %12.3f %9.2fx\n", kWidths[w], s.pool_seconds[w],
+                s.serial_seconds / s.pool_seconds[w]);
+  }
+  std::printf("  output identical to serial: %s\n",
+              s.identical ? "yes" : "NO (BUG)");
+}
+
+void json_series(std::FILE* f, const char* name, const Series& s,
+                 bool trailing_comma) {
+  std::fprintf(f, "  \"%s\": {\n", name);
+  std::fprintf(f, "    \"serial_seconds\": %.6f,\n", s.serial_seconds);
+  std::fprintf(f, "    \"identical_output\": %s,\n",
+               s.identical ? "true" : "false");
+  std::fprintf(f, "    \"pool\": [\n");
+  for (std::size_t w = 0; w < s.pool_seconds.size(); ++w) {
+    std::fprintf(f,
+                 "      {\"threads\": %u, \"seconds\": %.6f, "
+                 "\"speedup\": %.3f}%s\n",
+                 kWidths[w], s.pool_seconds[w],
+                 s.serial_seconds / s.pool_seconds[w],
+                 w + 1 < s.pool_seconds.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "bench_threads.json";
+
+  bench::print_header(
+      "bench_threads — serial vs work-stealing pool (alignment & coarsening)");
+  std::printf("hardware threads: %u   FOCUS_THREADS default: %u\n",
+              std::thread::hardware_concurrency(), default_thread_count());
+
+  // Dataset D1, same preprocessing as every other bench driver.
+  sim::Dataset dataset =
+      sim::make_dataset(1, bench::bench_scale(), bench::bench_coverage());
+  const core::FocusConfig cfg = bench::bench_config();
+  const io::ReadSet reads = io::preprocess(dataset.data.reads, cfg.preprocess);
+  std::fprintf(stderr, "[bench_threads] %zu preprocessed reads\n",
+               reads.size());
+
+  // --- Overlap stage -------------------------------------------------------
+  Series overlap;
+  align::OverlapperConfig ocfg = cfg.overlap;
+  std::vector<align::Overlap> reference;
+  overlap.serial_seconds = best_of(kRepeats, [&] {
+    Timer t;
+    reference = align::find_overlaps_serial(reads, ocfg);
+    return t.seconds();
+  });
+  for (const unsigned width : kWidths) {
+    ocfg.threads = width;
+    std::vector<align::Overlap> pooled;
+    overlap.pool_seconds.push_back(best_of(kRepeats, [&] {
+      Timer t;
+      pooled = align::find_overlaps(reads, ocfg);
+      return t.seconds();
+    }));
+    overlap.identical = overlap.identical && same_overlaps(reference, pooled);
+  }
+  print_series("overlap stage (find_overlaps, §II-B)", overlap);
+
+  // --- Coarsening stage ----------------------------------------------------
+  Series coarsen;
+  const graph::Graph g0 = graph::build_overlap_graph(reads.size(), reference);
+  graph::CoarsenConfig ccfg = cfg.coarsen;
+  ccfg.threads = 1;
+  graph::GraphHierarchy ref_hierarchy;
+  coarsen.serial_seconds = best_of(kRepeats, [&] {
+    Timer t;
+    ref_hierarchy = graph::build_multilevel(g0, ccfg);
+    return t.seconds();
+  });
+  for (const unsigned width : kWidths) {
+    ccfg.threads = width;
+    graph::GraphHierarchy pooled;
+    coarsen.pool_seconds.push_back(best_of(kRepeats, [&] {
+      Timer t;
+      pooled = graph::build_multilevel(g0, ccfg);
+      return t.seconds();
+    }));
+    coarsen.identical = coarsen.identical &&
+                        pooled.parent == ref_hierarchy.parent &&
+                        pooled.depth() == ref_hierarchy.depth();
+  }
+  print_series("coarsening stage (build_multilevel, §II-C)", coarsen);
+
+  // --- BENCH json ----------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"threads\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", dataset.name.c_str());
+  std::fprintf(f, "  \"reads\": %zu,\n", reads.size());
+  std::fprintf(f, "  \"overlaps\": %zu,\n", reference.size());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  json_series(f, "overlap", overlap, /*trailing_comma=*/true);
+  json_series(f, "coarsen", coarsen, /*trailing_comma=*/false);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  return (overlap.identical && coarsen.identical) ? 0 : 1;
+}

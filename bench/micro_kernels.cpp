@@ -7,6 +7,7 @@
 #include "align/overlapper.hpp"
 #include "align/suffix_array.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/coarsen.hpp"
 #include "mpr/runtime.hpp"
 #include "partition/ggg.hpp"
@@ -91,6 +92,50 @@ void BM_OverlapQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OverlapQuery);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Pure pool overhead: scatter + steal + join of trivially small chunks.
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t sink = 0;
+    pool.parallel_for(1024, 16, [&](std::size_t b, std::size_t e) {
+      benchmark::DoNotOptimize(b + e);
+      (void)sink;
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FindOverlapsPool(benchmark::State& state) {
+  // The §II-B hot path end to end on the work-stealing pool.
+  Rng rng(14);
+  const auto genome = random_dna(15, 40000);
+  io::ReadSet reads;
+  for (int i = 0; i < 800; ++i) {
+    const auto pos = rng.next_below(genome.size() - 100);
+    reads.add(io::Read{"r" + std::to_string(i), genome.substr(pos, 100), "",
+                       kInvalidRead, false});
+  }
+  align::OverlapperConfig cfg;
+  cfg.k = 14;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::find_overlaps(reads, cfg).size());
+  }
+}
+BENCHMARK(BM_FindOverlapsPool)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeavyEdgeMatchingPool(benchmark::State& state) {
+  const auto g = random_graph(16, 20000, 60000);
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::heavy_edge_matching(g, rng, 0, &pool));
+  }
+}
+BENCHMARK(BM_HeavyEdgeMatchingPool)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_HeavyEdgeMatching(benchmark::State& state) {
   const auto g = random_graph(7, static_cast<std::size_t>(state.range(0)),

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "align/banded_nw.hpp"
 #include "common/dna.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "io/preprocess.hpp"
 
 namespace focus::align {
@@ -244,6 +246,88 @@ std::vector<Overlap> find_overlaps_serial(const io::ReadSet& reads,
     for (std::size_t i = 0; i <= j; ++i) {
       process_pair(reads, subsets, i, index, config, work, all);
     }
+  }
+  return dedupe_overlaps(std::move(all));
+}
+
+namespace {
+
+/// Queries per pool task. Fixed (never derived from the thread count) so the
+/// task decomposition — and therefore the order work units are summed in —
+/// is identical for every pool width.
+constexpr std::size_t kQueriesPerTask = 16;
+
+}  // namespace
+
+std::vector<Overlap> find_overlaps(const io::ReadSet& reads,
+                                   const OverlapperConfig& config,
+                                   double* work) {
+  const unsigned threads = resolve_thread_count(config.threads);
+  if (threads <= 1) return find_overlaps_serial(reads, config, work);
+
+  FOCUS_CHECK(config.subsets > 0, "subset count must be positive");
+  FOCUS_CHECK(config.k >= 8 && config.k <= 32, "seed k must be in [8, 32]");
+  const auto subsets = io::split_into_subsets(reads.size(), config.subsets);
+
+  ThreadPool pool(threads);
+
+  // Index every non-empty reference subset exactly once, in parallel.
+  std::vector<std::unique_ptr<RefIndex>> indexes(subsets.size());
+  pool.parallel_for(subsets.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e; ++j) {
+      if (!subsets[j].empty()) {
+        indexes[j] = std::make_unique<RefIndex>(reads, subsets[j]);
+      }
+    }
+  });
+
+  // Flatten the (i, j) subset pairs into per-query-chunk tasks, enumerated
+  // in the serial driver's traversal order (j outer, i inner, reads in
+  // subset order). Chunking below the pair level keeps the pool busy even
+  // when there are fewer pairs than threads.
+  struct QueryTask {
+    std::size_t i, j;
+    std::size_t q_begin, q_end;  // range within subsets[i]
+  };
+  std::vector<QueryTask> tasks;
+  for (std::size_t j = 0; j < subsets.size(); ++j) {
+    if (subsets[j].empty()) continue;
+    for (std::size_t i = 0; i <= j; ++i) {
+      for (std::size_t q = 0; q < subsets[i].size(); q += kQueriesPerTask) {
+        tasks.push_back(
+            {i, j, q, std::min(subsets[i].size(), q + kQueriesPerTask)});
+      }
+    }
+  }
+
+  struct TaskResult {
+    std::vector<Overlap> overlaps;
+    double work = 0.0;
+  };
+  auto results = pool.parallel_transform<TaskResult>(
+      tasks.size(), 1, [&](std::size_t t) {
+        const QueryTask& task = tasks[t];
+        TaskResult r;
+        double* task_work = work != nullptr ? &r.work : nullptr;
+        for (std::size_t q = task.q_begin; q < task.q_end; ++q) {
+          auto found = query_overlaps(reads, *indexes[task.j],
+                                      subsets[task.i][q], config, task_work);
+          r.overlaps.insert(r.overlaps.end(), found.begin(), found.end());
+        }
+        return r;
+      });
+
+  // Deterministic merge: index build work in j order, then task results in
+  // task order (== the serial traversal order).
+  std::vector<Overlap> all;
+  if (work != nullptr) {
+    for (const auto& index : indexes) {
+      if (index) *work += index->build_work();
+    }
+  }
+  for (auto& r : results) {
+    all.insert(all.end(), r.overlaps.begin(), r.overlaps.end());
+    if (work != nullptr) *work += r.work;
   }
   return dedupe_overlaps(std::move(all));
 }

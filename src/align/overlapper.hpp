@@ -41,6 +41,10 @@ struct OverlapperConfig {
   std::uint32_t band = 8;
   /// Number of read subsets for pairwise parallel alignment.
   std::size_t subsets = 4;
+  /// Real host threads for the pooled aligner (find_overlaps): 1 = serial,
+  /// 0 = auto (FOCUS_THREADS env var if set, else hardware concurrency).
+  /// Output is byte-identical for every value.
+  unsigned threads = 0;
 };
 
 /// Suffix-array index over one reference subset. Reads are concatenated with
@@ -78,6 +82,17 @@ std::vector<Overlap> query_overlaps(const io::ReadSet& reads,
 std::vector<Overlap> find_overlaps_serial(const io::ReadSet& reads,
                                           const OverlapperConfig& config,
                                           double* work = nullptr);
+
+/// All-pairs overlap detection on the shared-memory work-stealing pool
+/// (config.threads wide). Reference subsets are indexed once each in
+/// parallel; (i, j) subset pairs are split into per-query-chunk tasks whose
+/// results are merged in the serial driver's (j, i, read) order — so the
+/// returned overlaps are byte-identical to find_overlaps_serial() for every
+/// thread count. `work` accumulates the same work units as the serial
+/// driver, summed in a thread-count-independent order.
+std::vector<Overlap> find_overlaps(const io::ReadSet& reads,
+                                   const OverlapperConfig& config,
+                                   double* work = nullptr);
 
 struct ParallelOverlapResult {
   std::vector<Overlap> overlaps;

@@ -1,0 +1,102 @@
+// Shared-memory work-stealing thread pool — the wall-clock execution layer.
+//
+// Focus has two parallelism layers (see DESIGN.md, "Execution model"):
+// the mpr runtime simulates *cluster* ranks in deterministic virtual time,
+// while this pool provides real *host* parallelism for the compute-bound
+// loops (subset-pair overlap detection, per-query seed-and-verify,
+// heavy-edge-matching candidate scoring).
+//
+// Design:
+//  * One task deque per participant (the calling thread occupies slot 0,
+//    spawned workers slots 1..threads-1). parallel_for() splits an index
+//    range into chunks and scatters them round-robin; each participant pops
+//    its own deque LIFO and steals FIFO from the others when it runs dry,
+//    so imbalanced chunks (e.g. repeat-rich read subsets) migrate to idle
+//    threads automatically.
+//  * The calling thread is a full participant: it executes and steals tasks
+//    while it waits, so nothing blocks on a pool smaller than the work.
+//  * threads == 1 is an explicit serial fallback: no worker threads are
+//    spawned and parallel_for() runs inline, chunk by chunk, in index order.
+//  * Determinism: callers write results into per-index slots and merge them
+//    in index order, so output never depends on the execution interleaving.
+//    Every user of the pool in this codebase is byte-identical for any
+//    thread count (enforced by tests/threads_test.cpp).
+//
+// Thread-count resolution: an explicit positive count wins; 0 means "auto" —
+// the FOCUS_THREADS environment variable if set, else hardware concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace focus {
+
+/// Pool width used when a config asks for "auto" (threads == 0):
+/// FOCUS_THREADS if set to a positive integer, else hardware concurrency.
+unsigned default_thread_count();
+
+/// Resolves a configured thread count: positive values pass through,
+/// 0 resolves via default_thread_count(). Always returns >= 1.
+unsigned resolve_thread_count(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// `threads` is resolved with resolve_thread_count(); the pool spawns
+  /// threads-1 workers (the caller participates as the remaining one).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return threads_; }
+
+  /// Runs fn(begin, end) over a partition of [0, n) into chunks of at most
+  /// `grain` indices. Blocks until every chunk has finished; the calling
+  /// thread executes and steals chunks while waiting. The first exception
+  /// thrown by any chunk is rethrown here (remaining chunks still run).
+  /// The chunk decomposition depends only on (n, grain) — never on the
+  /// thread count — so per-chunk accumulators merge identically everywhere.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Maps fn over [0, n) into a vector: out[i] = fn(i). Results land in
+  /// index order regardless of which thread computed them. T must be
+  /// default-constructible and movable.
+  template <typename T, typename Fn>
+  std::vector<T> parallel_transform(std::size_t n, std::size_t grain,
+                                    Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+    });
+    return out;
+  }
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_main(unsigned self);
+  bool try_acquire(unsigned self, std::function<void()>& task);
+
+  unsigned threads_;
+  std::vector<std::unique_ptr<Deque>> deques_;  // slot 0 = caller
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::size_t> unclaimed_{0};  // tasks sitting in deques
+  bool stop_ = false;
+};
+
+}  // namespace focus

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 
@@ -51,13 +52,24 @@ struct CoarsenConfig {
   /// hybrid graph — while the partitioner's internal re-coarsening caps it.
   Weight max_node_weight = 0;
   std::uint64_t seed = 1;
+  /// Real host threads for candidate scoring inside heavy-edge matching:
+  /// 1 = serial (the default — coarsening also runs inside mpr rank threads
+  /// and inside the partitioner's per-region re-coarsening, where extra
+  /// pools would oversubscribe), 0 = auto (FOCUS_THREADS env var, else
+  /// hardware concurrency). The matching is byte-identical for every value.
+  unsigned threads = 1;
 };
 
 /// Heavy-edge matching: returns match[v] = partner (or v itself when
 /// unmatched). Deterministic given the rng state. `max_node_weight`
 /// (positive) rejects matches whose merged weight would exceed the cap.
+/// When `pool` is non-null (and wider than one thread), the heavy
+/// best-neighbor scoring pass runs on the pool and the commit pass stays
+/// sequential in rng order, so the result is byte-identical to the serial
+/// matching.
 std::vector<NodeId> heavy_edge_matching(const Graph& g, Rng& rng,
-                                        Weight max_node_weight = 0);
+                                        Weight max_node_weight = 0,
+                                        ThreadPool* pool = nullptr);
 
 /// Contracts a matching: fills `parent` (fine -> coarse id) and returns the
 /// coarse graph.

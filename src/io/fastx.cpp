@@ -30,6 +30,16 @@ bool valid_phred33(const std::string& qual) {
   return true;
 }
 
+// Uppercases sequence data in place. Lowercase bases are legal FASTA/FASTQ
+// (soft-masked repeats), but every downstream consumer — k-mer seeding,
+// reverse complementation, 2-bit packing — expects upper case; without this
+// a soft-masked read silently produces zero seed hits.
+void uppercase_seq(std::string& seq) {
+  for (char& c : seq) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+}
+
 }  // namespace
 
 ReadSet parse_fasta(std::istream& in) {
@@ -42,6 +52,7 @@ ReadSet parse_fasta(std::istream& in) {
   auto flush = [&] {
     if (!in_record) return;
     if (current.seq.empty()) parse_fail(line_no, "FASTA record with empty sequence");
+    uppercase_seq(current.seq);
     reads.add(std::move(current));
     current = Read{};
   };
@@ -82,6 +93,7 @@ ReadSet parse_fastq(std::istream& in) {
       parse_fail(line_no, "quality length does not match sequence length");
     }
     if (!valid_phred33(r.qual)) parse_fail(line_no, "quality characters outside Phred+33 range");
+    uppercase_seq(r.seq);
     reads.add(std::move(r));
   }
   return reads;

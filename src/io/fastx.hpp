@@ -4,7 +4,9 @@
 // The parsers are strict about structure (record markers, FASTQ 4-line
 // grammar, quality/sequence length agreement) and throw focus::Error with the
 // offending line number; they are permissive about sequence alphabet
-// (non-ACGT characters are preserved and handled downstream).
+// (non-ACGT characters are preserved and handled downstream), but lowercase
+// (soft-masked) bases are uppercased so k-mer seeding sees them. CRLF line
+// endings are tolerated everywhere.
 #pragma once
 
 #include <iosfwd>

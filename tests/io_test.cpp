@@ -104,6 +104,66 @@ TEST(Fastx, MissingFileThrows) {
 }
 
 // ---------------------------------------------------------------------------
+// Edge cases: CRLF, empty records, truncation, soft-masked bases
+// ---------------------------------------------------------------------------
+
+TEST(FastxEdge, FastqCrlfLineEndings) {
+  // The '\r' must be stripped before the quality/sequence length check.
+  const auto reads =
+      parse_fastx_string("@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTT\r\n+\r\nII\r\n");
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].name, "r1");
+  EXPECT_EQ(reads[0].seq, "ACGT");
+  EXPECT_EQ(reads[0].qual, "IIII");
+  EXPECT_EQ(reads[1].seq, "TT");
+}
+
+TEST(FastxEdge, AutodetectSkipsCrlfBlankLines) {
+  const auto reads = parse_fastx_string("\r\n\r\n@r\nAC\n+\nII\n");
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].seq, "AC");
+}
+
+TEST(FastxEdge, FastaHeaderAtEofIsEmptyRecord) {
+  EXPECT_THROW(parse_fastx_string(">only-a-header\n"), Error);
+  EXPECT_THROW(parse_fastx_string(">a\nACGT\n>trailing\n"), Error);
+}
+
+TEST(FastxEdge, FastqTruncatedQualityLine) {
+  // Record ends right after the '+' separator (no quality line at all).
+  EXPECT_THROW(parse_fastx_string("@r1\nACGT\n+\n"), Error);
+  EXPECT_THROW(parse_fastx_string("@r1\r\nACGT\r\n+\r\n"), Error);
+  // Quality line present but truncated mid-record.
+  EXPECT_THROW(parse_fastx_string("@r1\nACGTACGT\n+\nIIII\n"), Error);
+}
+
+TEST(FastxEdge, LowercaseBasesAreUppercased) {
+  // Soft-masked (lowercase) bases must not silently disable k-mer seeding.
+  const auto fa = parse_fastx_string(">r\nacgtACGTnN\n");
+  ASSERT_EQ(fa.size(), 1u);
+  EXPECT_EQ(fa[0].seq, "ACGTACGTNN");
+
+  const auto fq = parse_fastx_string("@r\nacgt\n+\nIIII\n");
+  ASSERT_EQ(fq.size(), 1u);
+  EXPECT_EQ(fq[0].seq, "ACGT");
+  EXPECT_TRUE(dna::is_clean(fq[0].seq));
+}
+
+TEST(FastxEdge, MixedCaseMultilineFasta) {
+  const auto reads = parse_fastx_string(">r\nacGT\ngtCA\n");
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].seq, "ACGTGTCA");
+}
+
+TEST(FastxEdge, NonBaseCharactersSurviveUppercasing) {
+  // Alphabet permissiveness is unchanged: IUPAC codes and gaps pass through
+  // (uppercased where applicable), only a-z is remapped.
+  const auto reads = parse_fastx_string(">r\nAC-GTryk\n");
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].seq, "AC-GTRYK");
+}
+
+// ---------------------------------------------------------------------------
 // Writers
 // ---------------------------------------------------------------------------
 

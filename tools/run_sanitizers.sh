@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the tier-1 ctest suite under ThreadSanitizer and AddressSanitizer.
+#
+#   tools/run_sanitizers.sh [thread|address] [ctest args...]
+#
+# With no argument both sanitizers run. Builds land in build-tsan/ and
+# build-asan/ (never in the plain build/ tree). Any extra arguments are
+# passed to ctest, e.g.:
+#
+#   tools/run_sanitizers.sh thread -R Thread   # only the pool tests, TSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=()
+case "${1:-all}" in
+  thread|tsan)   sanitizers=(thread)         ;;
+  address|asan)  sanitizers=(address)        ;;
+  all)           sanitizers=(thread address) ;;
+  *) echo "usage: $0 [thread|address] [ctest args...]" >&2; exit 2 ;;
+esac
+[ $# -gt 0 ] && shift || true
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+status=0
+
+for san in "${sanitizers[@]}"; do
+  dir="build-tsan"
+  [ "$san" = "address" ] && dir="build-asan"
+  echo "=== ${san} sanitizer -> ${dir} ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DFOCUS_SANITIZE="$san"
+  cmake --build "$dir" -j "$jobs"
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$jobs" "$@"; then
+    echo "!!! ${san} sanitizer run FAILED" >&2
+    status=1
+  fi
+done
+
+exit $status

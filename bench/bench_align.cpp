@@ -1,0 +1,340 @@
+// Alignment-kernel benchmark: hashed k-mer seeding + two-pass banded NW vs
+// the suffix-array reference backend, recorded as a BENCH json.
+//
+//   $ ./bench_align [--smoke] [output.json]
+//
+// Reports, on the D1 simulated dataset (FOCUS_BENCH_SCALE /
+// FOCUS_BENCH_COVERAGE apply in full mode):
+//   * allocations per banded_global_align() / banded_score_only() call after
+//     warmup, counted by a global operator-new override — must be zero;
+//   * single-thread end-to-end overlap detection for both seed backends
+//     (reads/s and verified-overlaps/s), with the hash-vs-suffix-array
+//     speedup — the suffix-array path is the pre-overhaul kernel;
+//   * the hashed backend on the work-stealing pool at 1/2/4/8 threads.
+// Every timed run is checked byte-identical against the suffix-array serial
+// reference before its timing is reported. Exit status is nonzero if any
+// equivalence or zero-allocation check fails, so the smoke invocation doubles
+// as a ctest (label: perf-smoke). Default output: BENCH_align.json.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "align/banded_nw.hpp"
+#include "align/overlapper.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "io/preprocess.hpp"
+#include "sim/datasets.hpp"
+#include "sim/genome.hpp"
+
+// --- Global allocation counter ----------------------------------------------
+// Counts every operator-new in the process; the kernel loops below snapshot
+// it to prove the two-pass NW performs no heap allocation after warmup.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace focus;
+
+constexpr unsigned kWidths[] = {1, 2, 4, 8};
+
+double best_of(int repeats, const std::function<double()>& run_once) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double t = run_once();
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+bool same_overlaps(const std::vector<align::Overlap>& a,
+                   const std::vector<align::Overlap>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].query != b[i].query || a[i].ref != b[i].ref ||
+        a[i].length != b[i].length || a[i].identity != b[i].identity ||
+        a[i].kind != b[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Zero-allocation proof for the two-pass kernel: warm the thread-local
+// scratch with the largest geometry used, then count allocations across many
+// calls of both passes.
+struct AllocProbe {
+  std::uint64_t full_pass_allocs = 0;
+  std::uint64_t score_pass_allocs = 0;
+  std::uint64_t calls = 0;
+};
+
+AllocProbe probe_kernel_allocations() {
+  Rng rng(20250806);
+  const std::string a = sim::random_genome(400, rng);
+  std::string b = a;
+  for (int i = 0; i < 12; ++i) b[rng.next_below(b.size())] = 'T';
+  constexpr std::uint32_t kBand = 16;
+
+  // Warmup: grows the scratch rows/moves to their high-water mark.
+  (void)align::banded_global_align(a, b, kBand);
+  (void)align::banded_score_only(a, b, kBand);
+
+  AllocProbe probe;
+  probe.calls = 2000;
+  const auto before_full = g_allocations.load();
+  for (std::uint64_t i = 0; i < probe.calls; ++i) {
+    const auto r = align::banded_global_align(a, b, kBand);
+    if (!r.valid) std::abort();
+  }
+  probe.full_pass_allocs = g_allocations.load() - before_full;
+
+  const auto before_score = g_allocations.load();
+  for (std::uint64_t i = 0; i < probe.calls; ++i) {
+    const auto s = align::banded_score_only(a, b, kBand);
+    if (!s.valid) std::abort();
+  }
+  probe.score_pass_allocs = g_allocations.load() - before_score;
+  return probe;
+}
+
+struct BackendRun {
+  double seconds = 0.0;
+  double reads_per_s = 0.0;
+  double overlaps_per_s = 0.0;
+};
+
+// Pre-overhaul wall-clock reference: bench_threads.json records the serial
+// alignment seconds measured with the original kernel (suffix-array seeding,
+// guarded single-pass NW) on the same dataset, config, and host. Scraped
+// when present so the json can report the speedup against the true pre-PR
+// kernel, not just against the in-tree suffix-array backend (which shares
+// this PR's faster NW).
+double pre_pr_serial_seconds(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0.0;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  const auto overlap = text.find("\"overlap\"");
+  if (overlap == std::string::npos) return 0.0;
+  const auto key = text.find("\"serial_seconds\":", overlap);
+  if (key == std::string::npos) return 0.0;
+  return std::atof(text.c_str() + key + std::strlen("\"serial_seconds\":"));
+}
+
+BackendRun timed_run(const io::ReadSet& reads, align::OverlapperConfig cfg,
+                     int repeats, std::size_t overlap_count) {
+  BackendRun out;
+  out.seconds = best_of(repeats, [&] {
+    Timer t;
+    const auto found = align::find_overlaps(reads, cfg);
+    if (found.size() != overlap_count) std::abort();
+    return t.seconds();
+  });
+  out.reads_per_s = static_cast<double>(reads.size()) / out.seconds;
+  out.overlaps_per_s = static_cast<double>(overlap_count) / out.seconds;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_align.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // Smoke mode pins a tiny deterministic dataset (finishes in well under two
+  // seconds) so the perf-smoke ctest exercises every code path cheaply.
+  const double scale = smoke ? 0.15 : bench::bench_scale();
+  const double coverage = smoke ? 3.0 : bench::bench_coverage();
+  const int repeats = smoke ? 1 : 3;
+
+  std::fprintf(stderr, "[bench_align] dataset D1 scale=%.2f coverage=%.1f\n",
+               scale, coverage);
+  const sim::Dataset dataset = sim::make_dataset(1, scale, coverage);
+  const io::ReadSet reads = io::preprocess(dataset.data.reads, {});
+
+  align::OverlapperConfig cfg = bench::bench_config().overlap;
+  cfg.threads = 1;
+
+  // Reference: suffix-array backend, serial — the pre-overhaul kernel.
+  cfg.seed_backend = align::SeedBackend::kSuffixArray;
+  const auto reference = align::find_overlaps_serial(reads, cfg);
+  std::fprintf(stderr, "[bench_align] %zu reads, %zu overlaps\n", reads.size(),
+               reference.size());
+
+  bool all_identical = true;
+
+  // 1 — zero-allocation proof.
+  const AllocProbe probe = probe_kernel_allocations();
+
+  // 2 — backend comparison at one thread.
+  cfg.seed_backend = align::SeedBackend::kSuffixArray;
+  {
+    const auto check = align::find_overlaps(reads, cfg);
+    all_identical &= same_overlaps(check, reference);
+  }
+  const BackendRun sa_run = timed_run(reads, cfg, repeats, reference.size());
+  cfg.seed_backend = align::SeedBackend::kKmerHash;
+  {
+    const auto check = align::find_overlaps(reads, cfg);
+    all_identical &= same_overlaps(check, reference);
+  }
+  const BackendRun hash_run = timed_run(reads, cfg, repeats, reference.size());
+  const double kernel_speedup = sa_run.seconds / hash_run.seconds;
+
+  // 3 — hashed backend across pool widths.
+  std::vector<BackendRun> pool_runs;
+  for (const unsigned width : kWidths) {
+    cfg.threads = width;
+    const auto check = align::find_overlaps(reads, cfg);
+    all_identical &= same_overlaps(check, reference);
+    pool_runs.push_back(timed_run(reads, cfg, repeats, reference.size()));
+  }
+
+  const bool zero_alloc =
+      probe.full_pass_allocs == 0 && probe.score_pass_allocs == 0;
+
+  // Only meaningful in full mode: the recorded baseline used the default
+  // scale/coverage.
+  double pre_pr_seconds = 0.0;
+  if (!smoke) {
+    // Repo root when run from the source tree, one level up when run from
+    // the build tree.
+    pre_pr_seconds = pre_pr_serial_seconds("bench_threads.json");
+    if (pre_pr_seconds == 0.0) {
+      pre_pr_seconds = pre_pr_serial_seconds("../bench_threads.json");
+    }
+  }
+
+  std::printf("\nalignment kernel (D1, %zu reads, %zu overlaps)\n",
+              reads.size(), reference.size());
+  std::printf("  allocations per banded_global_align after warmup: %.4f\n",
+              static_cast<double>(probe.full_pass_allocs) /
+                  static_cast<double>(probe.calls));
+  std::printf("  allocations per banded_score_only after warmup:   %.4f\n",
+              static_cast<double>(probe.score_pass_allocs) /
+                  static_cast<double>(probe.calls));
+  std::printf("  %-22s %10s %12s %16s\n", "kernel", "seconds", "reads/s",
+              "overlaps/s");
+  std::printf("  %-22s %10.3f %12.0f %16.0f\n", "suffix-array (pre-PR)",
+              sa_run.seconds, sa_run.reads_per_s, sa_run.overlaps_per_s);
+  std::printf("  %-22s %10.3f %12.0f %16.0f\n", "kmer-hash (this PR)",
+              hash_run.seconds, hash_run.reads_per_s, hash_run.overlaps_per_s);
+  std::printf("  single-thread speedup: %.2fx\n", kernel_speedup);
+  if (pre_pr_seconds > 0.0) {
+    std::printf(
+        "  vs pre-overhaul kernel (bench_threads.json, %.3f s): %.2fx\n",
+        pre_pr_seconds, pre_pr_seconds / hash_run.seconds);
+  }
+  std::printf("  kmer-hash on pool:\n");
+  for (std::size_t w = 0; w < pool_runs.size(); ++w) {
+    std::printf("    %u threads: %10.3f s %12.0f reads/s\n", kWidths[w],
+                pool_runs[w].seconds, pool_runs[w].reads_per_s);
+  }
+  std::printf("  output identical across backends/widths: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench_align] cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"align_kernel\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"dataset\": \"D1\",\n");
+  std::fprintf(f, "  \"scale\": %.3f,\n", scale);
+  std::fprintf(f, "  \"coverage\": %.3f,\n", coverage);
+  std::fprintf(f, "  \"reads\": %zu,\n", reads.size());
+  std::fprintf(f, "  \"overlaps\": %zu,\n", reference.size());
+  std::fprintf(f, "  \"identical_output\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(f, "  \"allocs_per_full_pass\": %.6f,\n",
+               static_cast<double>(probe.full_pass_allocs) /
+                   static_cast<double>(probe.calls));
+  std::fprintf(f, "  \"allocs_per_score_pass\": %.6f,\n",
+               static_cast<double>(probe.score_pass_allocs) /
+                   static_cast<double>(probe.calls));
+  std::fprintf(f,
+               "  \"suffix_array\": {\"seconds\": %.6f, \"reads_per_s\": %.1f,"
+               " \"overlaps_per_s\": %.1f},\n",
+               sa_run.seconds, sa_run.reads_per_s, sa_run.overlaps_per_s);
+  std::fprintf(f,
+               "  \"kmer_hash\": {\"seconds\": %.6f, \"reads_per_s\": %.1f,"
+               " \"overlaps_per_s\": %.1f},\n",
+               hash_run.seconds, hash_run.reads_per_s, hash_run.overlaps_per_s);
+  std::fprintf(f, "  \"single_thread_speedup\": %.3f,\n", kernel_speedup);
+  if (pre_pr_seconds > 0.0) {
+    std::fprintf(f,
+                 "  \"pre_pr_kernel\": {\"source\": \"bench_threads.json\", "
+                 "\"serial_seconds\": %.6f, \"speedup\": %.3f},\n",
+                 pre_pr_seconds, pre_pr_seconds / hash_run.seconds);
+  }
+  std::fprintf(f, "  \"kmer_hash_pool\": [\n");
+  for (std::size_t w = 0; w < pool_runs.size(); ++w) {
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"seconds\": %.6f, "
+                 "\"reads_per_s\": %.1f}%s\n",
+                 kWidths[w], pool_runs[w].seconds, pool_runs[w].reads_per_s,
+                 w + 1 < pool_runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench_align] wrote %s\n", out_path.c_str());
+
+  if (!all_identical) return 1;
+  if (!zero_alloc) return 1;
+  return 0;
+}

@@ -84,14 +84,46 @@ void BM_OverlapQuery(benchmark::State& state) {
                        kInvalidRead, false});
     members.push_back(static_cast<ReadId>(i));
   }
-  const align::RefIndex index(reads, members);
   align::OverlapperConfig cfg;
   cfg.k = 14;
+  cfg.seed_backend = state.range(0) == 0 ? align::SeedBackend::kKmerHash
+                                         : align::SeedBackend::kSuffixArray;
+  const align::RefIndex index(reads, members, cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(align::query_overlaps(reads, index, 0, cfg));
   }
 }
-BENCHMARK(BM_OverlapQuery);
+BENCHMARK(BM_OverlapQuery)->Arg(0)->Arg(1);
+
+void BM_KmerIndexBuild(benchmark::State& state) {
+  Rng rng(18);
+  const auto genome = random_dna(19, 20000);
+  io::ReadSet reads;
+  std::vector<ReadId> members;
+  for (int i = 0; i < 500; ++i) {
+    const auto pos = rng.next_below(genome.size() - 100);
+    reads.add(io::Read{"r" + std::to_string(i), genome.substr(pos, 100), "",
+                       kInvalidRead, false});
+    members.push_back(static_cast<ReadId>(i));
+  }
+  for (auto _ : state) {
+    align::KmerIndex index(reads, members, 14);
+    benchmark::DoNotOptimize(index.posting_count());
+  }
+}
+BENCHMARK(BM_KmerIndexBuild);
+
+void BM_BandedNwScoreOnly(benchmark::State& state) {
+  const auto band = static_cast<std::uint32_t>(state.range(0));
+  const auto a = random_dna(4, 100);
+  auto b = a;
+  b[10] = b[10] == 'A' ? 'C' : 'A';
+  b[50] = b[50] == 'G' ? 'T' : 'G';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_score_only(a, b, band));
+  }
+}
+BENCHMARK(BM_BandedNwScoreOnly)->Arg(8)->Arg(16);
 
 void BM_ThreadPoolDispatch(benchmark::State& state) {
   // Pure pool overhead: scatter + steal + join of trivially small chunks.

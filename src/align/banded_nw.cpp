@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <vector>
 
+#include "align/align_scratch.hpp"
 #include "common/error.hpp"
 
 namespace focus::align {
@@ -11,8 +11,50 @@ namespace focus::align {
 namespace {
 
 constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 2;
+// Cells whose only predecessors are out-of-band carry kNegInf plus a few
+// row-local additions; anything below this threshold is unreachable. Real
+// alignment scores are bounded below by gap * (len_a + len_b), far above it.
+constexpr std::int32_t kUnreachable = kNegInf / 2;
 
 enum Move : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+
+// Skew-adjusted diagonal band: j - i in [dlo, dhi], chosen so the (0,0) and
+// (n,m) corners are always inside the band.
+struct BandGeometry {
+  std::int64_t n, m, dlo, dhi, width;
+};
+
+BandGeometry band_geometry(std::string_view a, std::string_view b,
+                           std::uint32_t band) {
+  BandGeometry g;
+  g.n = static_cast<std::int64_t>(a.size());
+  g.m = static_cast<std::int64_t>(b.size());
+  const std::int64_t skew = g.m - g.n;
+  g.dlo = std::min<std::int64_t>(0, skew) - band;
+  g.dhi = std::max<std::int64_t>(0, skew) + band;
+  g.width = g.dhi - g.dlo + 1;
+  return g;
+}
+
+// Both row buffers carry one kNegInf sentinel on each side, so the three
+// predecessor reads need no bounds or reachability branches:
+//   diag (i-1, j-1) -> prev[idx],  up (i-1, j) -> prev[idx+1],
+//   left (i, j-1)   -> cur[idx-1]
+// with idx = j - (i + dlo). Out-of-band predecessors read the sentinel (or a
+// cell left at kNegInf by the per-row fill) and lose every max() against a
+// reachable path — scores of reachable cells are identical to the guarded
+// formulation, which is what the traceback and callers observe.
+struct Rows {
+  std::int32_t* prev;  // points one past the leading sentinel
+  std::int32_t* cur;
+};
+
+Rows prepare_rows(AlignScratch& scratch, std::int64_t width) {
+  const auto padded = static_cast<std::size_t>(width) + 2;
+  scratch.nw_prev.assign(padded, kNegInf);
+  scratch.nw_cur.assign(padded, kNegInf);
+  return {scratch.nw_prev.data() + 1, scratch.nw_cur.data() + 1};
+}
 
 }  // namespace
 
@@ -24,83 +66,172 @@ double banded_align_work(std::size_t len_a, std::size_t len_b,
          static_cast<double>(2 * band + diff + 1);
 }
 
+double banded_score_work(std::size_t len_a, std::size_t len_b,
+                         std::uint32_t band) {
+  // Same cell count as the full pass; the score pass fills every band cell
+  // once (without recording moves).
+  return banded_align_work(len_a, len_b, band);
+}
+
+BandScore banded_score_only(std::string_view a, std::string_view b,
+                            std::uint32_t band, const AlignScoring& scoring) {
+  const BandGeometry g = band_geometry(a, b, band);
+  const std::int64_t n = g.n, m = g.m, dlo = g.dlo, width = g.width;
+  AlignScratch& scratch = tls_align_scratch();
+  auto [pp, cp] = prepare_rows(scratch, width);
+
+  // Row 0: only left-gap moves are possible.
+  const std::int64_t jhi0 = std::min<std::int64_t>(m, g.dhi);
+  for (std::int64_t j = 0; j <= jhi0; ++j) {
+    pp[j - dlo] = static_cast<std::int32_t>(j) * scoring.gap;
+  }
+
+  for (std::int64_t i = 1; i <= n; ++i) {
+    std::fill(cp, cp + width, kNegInf);
+    const std::int64_t base = i + dlo;  // j = base + idx
+    std::int64_t jlo = std::max<std::int64_t>(0, base);
+    const std::int64_t jhi = std::min<std::int64_t>(m, i + g.dhi);
+    if (jlo == 0) {
+      // j = 0 has no diagonal or left predecessor (b[-1] does not exist).
+      cp[-base] = pp[-base + 1] + scoring.gap;
+      jlo = 1;
+    }
+    const char ai = a[static_cast<std::size_t>(i - 1)];
+    for (std::int64_t j = jlo; j <= jhi; ++j) {
+      const std::int64_t idx = j - base;
+      const std::int32_t diag =
+          pp[idx] + (ai == b[static_cast<std::size_t>(j - 1)]
+                         ? scoring.match
+                         : scoring.mismatch);
+      const std::int32_t up = pp[idx + 1] + scoring.gap;
+      const std::int32_t left = cp[idx - 1] + scoring.gap;
+      std::int32_t best = diag;
+      if (up > best) best = up;
+      if (left > best) best = left;
+      cp[idx] = best;
+    }
+    std::swap(pp, cp);
+  }
+
+  BandScore result;
+  const std::int64_t final_idx = m - (n + dlo);
+  FOCUS_ASSERT(final_idx >= 0 && final_idx < width,
+               "band does not contain the terminal corner");
+  const std::int32_t final_score = pp[final_idx];
+  if (final_score < kUnreachable) return result;  // unreachable within band
+  result.valid = true;
+  result.score = final_score;
+  return result;
+}
+
+bool score_may_pass(std::int32_t score, std::size_t len_a, std::size_t len_b,
+                    std::uint32_t min_columns, double min_identity,
+                    const AlignScoring& scoring) {
+  // For a global alignment with M matches, X mismatches, and G gap columns:
+  //   M + X + gaps_into_a = len_a,  M + X + gaps_into_b = len_b
+  //   => G = T - 2M - 2X  with  T = len_a + len_b
+  //   => score = A*M + B*X + gap*T  with  A = match - 2*gap, B = mismatch -
+  //      2*gap
+  // so U := score - gap*T = A*M + B*X, and columns = T - M - X. With
+  // A >= B >= 0 every alignment achieving this score satisfies
+  // M + X >= U / A, hence columns <= T - U/A; and when U <= B*T the ratio
+  // M / columns is maximized at X = 0, giving identity <= U / (A*T - U).
+  const auto T = static_cast<std::int64_t>(len_a + len_b);
+  const std::int64_t A = static_cast<std::int64_t>(scoring.match) -
+                         2 * static_cast<std::int64_t>(scoring.gap);
+  const std::int64_t B = static_cast<std::int64_t>(scoring.mismatch) -
+                         2 * static_cast<std::int64_t>(scoring.gap);
+  if (A <= 0 || B < 0 || scoring.mismatch > scoring.match) {
+    return true;  // bounds unsound for this scoring; abstain
+  }
+  const std::int64_t U =
+      static_cast<std::int64_t>(score) -
+      static_cast<std::int64_t>(scoring.gap) * T;
+  if (U < 0) return true;  // impossible for a real alignment; abstain
+
+  // columns <= T - U/A < min_columns  <=>  A*(T - min_columns) < U.
+  if (A * (T - static_cast<std::int64_t>(min_columns)) < U) return false;
+
+  if (U <= B * T) {
+    // identity <= U / (A*T - U).
+    const std::int64_t denom = A * T - U;
+    if (denom <= 0) return false;  // columns bound <= 0
+    // Tiny slack keeps float rounding from rejecting a boundary candidate.
+    if (static_cast<double>(U) / static_cast<double>(denom) + 1e-9 <
+        min_identity) {
+      return false;
+    }
+  }
+  return true;
+}
+
 AlignmentResult banded_global_align(std::string_view a, std::string_view b,
                                     std::uint32_t band,
                                     const AlignScoring& scoring) {
-  const auto n = static_cast<std::int64_t>(a.size());
-  const auto m = static_cast<std::int64_t>(b.size());
-  const std::int64_t skew = m - n;
-  // Diagonal band: j - i in [dlo, dhi]; skew-adjusted so the (0,0) and (n,m)
-  // corners are always inside the band.
-  const std::int64_t dlo = std::min<std::int64_t>(0, skew) - band;
-  const std::int64_t dhi = std::max<std::int64_t>(0, skew) + band;
-  const std::int64_t width = dhi - dlo + 1;
+  const BandGeometry g = band_geometry(a, b, band);
+  const std::int64_t n = g.n, m = g.m, dlo = g.dlo, width = g.width;
 
-  std::vector<std::int32_t> prev(static_cast<std::size_t>(width), kNegInf);
-  std::vector<std::int32_t> cur(static_cast<std::size_t>(width), kNegInf);
-  // moves[(i * width) + (j - (i + dlo))]
-  std::vector<std::uint8_t> moves(
-      static_cast<std::size_t>((n + 1) * width), kStop);
+  AlignScratch& scratch = tls_align_scratch();
+  auto [pp, cp] = prepare_rows(scratch, width);
+  auto& moves = scratch.nw_moves;
+  // moves[(i * width) + (j - (i + dlo))]. Stale contents from earlier calls
+  // are harmless: the row loop writes every in-band cell before the
+  // traceback (which only visits in-band cells) reads it.
+  if (moves.size() < static_cast<std::size_t>((n + 1) * width)) {
+    moves.resize(static_cast<std::size_t>((n + 1) * width));
+  }
 
-  for (std::int64_t i = 0; i <= n; ++i) {
-    std::fill(cur.begin(), cur.end(), kNegInf);
-    const std::int64_t jlo = std::max<std::int64_t>(0, i + dlo);
-    const std::int64_t jhi = std::min<std::int64_t>(m, i + dhi);
-    for (std::int64_t j = jlo; j <= jhi; ++j) {
-      const std::int64_t idx = j - (i + dlo);
-      std::int32_t best = kNegInf;
-      std::uint8_t move = kStop;
-      if (i == 0 && j == 0) {
-        best = 0;
-      } else {
-        if (i > 0 && j > 0) {
-          const std::int64_t pidx = (j - 1) - (i - 1 + dlo);
-          if (pidx >= 0 && pidx < width &&
-              prev[static_cast<std::size_t>(pidx)] > kNegInf) {
-            const bool is_match = a[static_cast<std::size_t>(i - 1)] ==
-                                  b[static_cast<std::size_t>(j - 1)];
-            const std::int32_t s =
-                prev[static_cast<std::size_t>(pidx)] +
-                (is_match ? scoring.match : scoring.mismatch);
-            if (s > best) {
-              best = s;
-              move = kDiag;
-            }
-          }
-        }
-        if (i > 0) {
-          const std::int64_t pidx = j - (i - 1 + dlo);
-          if (pidx >= 0 && pidx < width &&
-              prev[static_cast<std::size_t>(pidx)] > kNegInf) {
-            const std::int32_t s =
-                prev[static_cast<std::size_t>(pidx)] + scoring.gap;
-            if (s > best) {
-              best = s;
-              move = kUp;
-            }
-          }
-        }
-        if (j > jlo && cur[static_cast<std::size_t>(idx - 1)] > kNegInf) {
-          const std::int32_t s =
-              cur[static_cast<std::size_t>(idx - 1)] + scoring.gap;
-          if (s > best) {
-            best = s;
-            move = kLeft;
-          }
-        }
-      }
-      cur[static_cast<std::size_t>(idx)] = best;
-      moves[static_cast<std::size_t>(i * width + idx)] = move;
+  // Row 0: only left-gap moves are possible.
+  const std::int64_t jhi0 = std::min<std::int64_t>(m, g.dhi);
+  for (std::int64_t j = 0; j <= jhi0; ++j) {
+    pp[j - dlo] = static_cast<std::int32_t>(j) * scoring.gap;
+    moves[static_cast<std::size_t>(j - dlo)] = j == 0 ? kStop : kLeft;
+  }
+
+  for (std::int64_t i = 1; i <= n; ++i) {
+    std::fill(cp, cp + width, kNegInf);
+    const std::int64_t base = i + dlo;  // j = base + idx
+    std::int64_t jlo = std::max<std::int64_t>(0, base);
+    const std::int64_t jhi = std::min<std::int64_t>(m, i + g.dhi);
+    std::uint8_t* mrow = moves.data() + static_cast<std::size_t>(i * width);
+    if (jlo == 0) {
+      // j = 0 has no diagonal or left predecessor (b[-1] does not exist).
+      cp[-base] = pp[-base + 1] + scoring.gap;
+      mrow[-base] = kUp;
+      jlo = 1;
     }
-    prev.swap(cur);
+    const char ai = a[static_cast<std::size_t>(i - 1)];
+    for (std::int64_t j = jlo; j <= jhi; ++j) {
+      const std::int64_t idx = j - base;
+      const std::int32_t diag =
+          pp[idx] + (ai == b[static_cast<std::size_t>(j - 1)]
+                         ? scoring.match
+                         : scoring.mismatch);
+      const std::int32_t up = pp[idx + 1] + scoring.gap;
+      const std::int32_t left = cp[idx - 1] + scoring.gap;
+      // Tie priority diag > up > left, matching the guarded formulation.
+      std::int32_t best = diag;
+      std::uint8_t move = kDiag;
+      if (up > best) {
+        best = up;
+        move = kUp;
+      }
+      if (left > best) {
+        best = left;
+        move = kLeft;
+      }
+      cp[idx] = best;
+      mrow[idx] = move;
+    }
+    std::swap(pp, cp);
   }
 
   AlignmentResult result;
   const std::int64_t final_idx = m - (n + dlo);
   FOCUS_ASSERT(final_idx >= 0 && final_idx < width,
                "band does not contain the terminal corner");
-  const std::int32_t final_score = prev[static_cast<std::size_t>(final_idx)];
-  if (final_score <= kNegInf) return result;  // unreachable within band
+  const std::int32_t final_score = pp[final_idx];
+  if (final_score < kUnreachable) return result;  // unreachable within band
 
   result.valid = true;
   result.score = final_score;

@@ -3,10 +3,23 @@
 // alignment").
 //
 // The DP is restricted to a diagonal band of half-width `band`, so aligning
-// two ~L-base overlap regions costs O(band * L) instead of O(L^2). The
-// traceback yields the number of aligned columns and matches, from which the
-// paper's two acceptance criteria — alignment length and alignment identity —
-// are computed.
+// two ~L-base overlap regions costs O(band * L) instead of O(L^2).
+//
+// The kernel is two-pass and allocation-free:
+//
+//   1. banded_score_only() computes the optimal score with two reusable DP
+//      rows from the thread-local scratch arena (align_scratch.hpp) — no
+//      move matrix, no traceback, no allocation.
+//   2. score_may_pass() turns that score into conservative upper bounds on
+//      alignment columns and identity; candidates whose bounds already fail
+//      the overlap thresholds are rejected without ever running pass 2.
+//   3. banded_global_align() runs the full DP with the move matrix (also
+//      from the scratch arena) and the traceback that yields the exact
+//      column/match/gap counts for the paper's two acceptance criteria.
+//
+// Both passes compute the same recurrence, so banded_score_only().score ==
+// banded_global_align().score exactly, and the prefilter never changes which
+// overlaps are accepted — only how much work rejection costs.
 #pragma once
 
 #include <cstdint>
@@ -52,15 +65,48 @@ struct AlignScoring {
   std::int32_t gap = -3;
 };
 
+/// Outcome of the score-only first pass.
+struct BandScore {
+  bool valid = false;   // false if the band could not connect the corners
+  std::int32_t score = 0;
+};
+
 /// Globally aligns a vs b within a band of half-width `band` around the skew
 /// diagonal (the band is widened by |len(a) - len(b)| so both corners are
-/// always inside it).
+/// always inside it). DP buffers come from the thread-local scratch arena;
+/// no heap allocation after warmup.
 AlignmentResult banded_global_align(std::string_view a, std::string_view b,
                                     std::uint32_t band,
                                     const AlignScoring& scoring = {});
 
-/// DP work units of one call (for virtual-time charging).
+/// Score-only pass: identical band geometry and recurrence as
+/// banded_global_align, two DP rows, no move matrix. `score` equals the full
+/// pass's score exactly.
+BandScore banded_score_only(std::string_view a, std::string_view b,
+                            std::uint32_t band,
+                            const AlignScoring& scoring = {});
+
+/// Conservative prefilter: true if an optimal global alignment of sequences
+/// of lengths len_a and len_b with this score COULD have >= min_columns
+/// alignment columns and >= min_identity identity. A false return guarantees
+/// the full traceback would be rejected by those thresholds, so callers may
+/// skip pass 2; a true return promises nothing. Exact for the linear scoring
+/// identities M+X+gaps_a = len_a, M+X+gaps_b = len_b; if the scoring does not
+/// satisfy match >= mismatch >= 2*gap (needed for the bounds to be sound),
+/// the filter abstains and returns true.
+bool score_may_pass(std::int32_t score, std::size_t len_a, std::size_t len_b,
+                    std::uint32_t min_columns, double min_identity,
+                    const AlignScoring& scoring = {});
+
+/// DP work units of the full pass (score + move matrix + traceback), for
+/// virtual-time charging.
 double banded_align_work(std::size_t len_a, std::size_t len_b,
+                         std::uint32_t band);
+
+/// DP work units of the score-only pass. Same cell count as the full pass
+/// but charged separately so the two-pass cost model (score pass always,
+/// traceback pass only for surviving candidates) stays explicit.
+double banded_score_work(std::size_t len_a, std::size_t len_b,
                          std::uint32_t band);
 
 }  // namespace focus::align

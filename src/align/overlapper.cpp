@@ -4,7 +4,6 @@
 #include <cmath>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "align/banded_nw.hpp"
 #include "common/dna.hpp"
@@ -18,37 +17,59 @@ namespace {
 
 constexpr char kSeparator = '\x01';
 
-// Seed hit of a query k-mer inside one reference read.
-struct SeedHit {
-  std::int64_t diagonal;  // qpos - rpos
-};
-
 }  // namespace
 
-RefIndex::RefIndex(const io::ReadSet& reads, std::vector<ReadId> members)
+RefIndex::RefIndex(const io::ReadSet& reads, std::vector<ReadId> members,
+                   const OverlapperConfig& config)
     : members_(std::move(members)),
-      starts_(),
-      sa_([&] {
-        std::string text;
-        std::size_t total = 0;
-        for (const ReadId id : members_) total += reads[id].seq.size() + 1;
-        text.reserve(total);
-        starts_.reserve(members_.size());
-        for (const ReadId id : members_) {
-          starts_.push_back(static_cast<std::uint32_t>(text.size()));
-          text += reads[id].seq;
-          text += kSeparator;
-        }
-        return text;
-      }()) {}
+      backend_(config.seed_backend),
+      seed_k_(config.k) {
+  starts_.reserve(members_.size());
+  std::uint32_t offset = 0;
+  for (const ReadId id : members_) {
+    starts_.push_back(offset);
+    offset += static_cast<std::uint32_t>(reads[id].seq.size()) + 1;
+  }
+  if (backend_ == SeedBackend::kSuffixArray) {
+    std::string text;
+    text.reserve(offset);
+    for (const ReadId id : members_) {
+      text += reads[id].seq;
+      text += kSeparator;
+    }
+    sa_.emplace(std::move(text));
+  } else {
+    kmers_.emplace(reads, members_, config.k);
+  }
+}
 
-std::pair<ReadId, std::uint32_t> RefIndex::resolve(
+std::pair<std::uint32_t, std::uint32_t> RefIndex::resolve_member(
     std::uint32_t text_pos) const {
   FOCUS_ASSERT(!starts_.empty(), "resolve on empty index");
   const auto it =
       std::upper_bound(starts_.begin(), starts_.end(), text_pos) - 1;
-  const auto member_idx = static_cast<std::size_t>(it - starts_.begin());
-  return {members_[member_idx], text_pos - *it};
+  const auto member_idx = static_cast<std::uint32_t>(it - starts_.begin());
+  return {member_idx, text_pos - *it};
+}
+
+std::pair<ReadId, std::uint32_t> RefIndex::resolve(
+    std::uint32_t text_pos) const {
+  const auto [member_idx, offset] = resolve_member(text_pos);
+  return {members_[member_idx], offset};
+}
+
+const SuffixArray& RefIndex::sa() const {
+  FOCUS_ASSERT(sa_.has_value(), "suffix array not built for this backend");
+  return *sa_;
+}
+
+const KmerIndex& RefIndex::kmers() const {
+  FOCUS_ASSERT(kmers_.has_value(), "k-mer index not built for this backend");
+  return *kmers_;
+}
+
+double RefIndex::build_work() const {
+  return sa_.has_value() ? sa_->build_work() : kmers_->build_work();
 }
 
 namespace {
@@ -75,6 +96,12 @@ std::optional<std::int64_t> consensus_diagonal(std::vector<std::int64_t>& diags,
 
 // Classifies and verifies the overlap implied by a diagonal; returns nullopt
 // if the overlap region is too short or fails verification thresholds.
+//
+// Verification is two-pass: a score-only banded pass (two DP rows, no
+// traceback) always runs; the full pass with the move matrix runs only when
+// the score's conservative column/identity bounds could still meet the
+// thresholds. Both passes draw their buffers from the thread-local scratch
+// arena, so the verify path performs no heap allocation after warmup.
 std::optional<Overlap> verify_overlap(const io::ReadSet& reads, ReadId q,
                                       ReadId r, std::int64_t diagonal,
                                       const OverlapperConfig& config,
@@ -101,11 +128,24 @@ std::optional<Overlap> verify_overlap(const io::ReadSet& reads, ReadId q,
       std::string_view(rs).substr(static_cast<std::size_t>(r_begin),
                                   static_cast<std::size_t>(r_end - r_begin));
 
+  // Pass 1: score only.
+  if (work != nullptr) {
+    *work += banded_score_work(qa.size(), rb.size(), config.band);
+  }
+  const BandScore pre = banded_score_only(qa, rb, config.band);
+  if (!pre.valid) return std::nullopt;
+  if (!score_may_pass(pre.score, qa.size(), rb.size(), config.min_overlap,
+                      config.min_identity)) {
+    return std::nullopt;  // traceback could not be accepted; skip pass 2
+  }
+
+  // Pass 2: full DP + traceback for exact column/match/gap counts.
   if (work != nullptr) {
     *work += banded_align_work(qa.size(), rb.size(), config.band);
   }
   const AlignmentResult aln = banded_global_align(qa, rb, config.band);
-  if (!aln.valid) return std::nullopt;
+  FOCUS_ASSERT(aln.valid && aln.score == pre.score,
+               "two-pass banded NW score mismatch");
   if (aln.columns < config.min_overlap) return std::nullopt;
   if (aln.identity() < config.min_identity) return std::nullopt;
 
@@ -133,57 +173,117 @@ std::optional<Overlap> verify_overlap(const io::ReadSet& reads, ReadId q,
   return o;
 }
 
+// Appends `diag` to member m's diagonal list, registering m as touched on
+// first contact. Lists are empty between queries (reset below), so emptiness
+// doubles as the "not yet touched" flag.
+inline void push_hit(AlignScratch& scratch, std::uint32_t m,
+                     std::int64_t diag) {
+  auto& diags = scratch.member_diags[m];
+  if (diags.empty()) scratch.touched.push_back(m);
+  diags.push_back(diag);
+}
+
 }  // namespace
+
+void query_overlaps_into(const io::ReadSet& reads, const RefIndex& index,
+                         ReadId query_id, const OverlapperConfig& config,
+                         AlignScratch& scratch, std::vector<Overlap>& out,
+                         double* work) {
+  const std::string& qs = reads[query_id].seq;
+  if (qs.size() < config.k) return;
+
+  const std::size_t member_count = index.members().size();
+  if (scratch.member_diags.size() < member_count) {
+    scratch.member_diags.resize(member_count);
+  }
+  scratch.touched.clear();
+  scratch.candidates.clear();
+
+  // Collect seed diagonals per reference member. Both backends produce the
+  // same (member -> diagonal multiset) mapping — the suffix array enumerates
+  // hits in suffix rank order, the hash index in (member, pos) order, and
+  // consensus_diagonal() sorts — so everything downstream is
+  // backend-independent.
+  if (index.backend() == SeedBackend::kSuffixArray) {
+    const double log_n =
+        std::log2(static_cast<double>(index.sa().size()) + 2.0);
+    for (std::size_t qpos = 0; qpos + config.k <= qs.size(); ++qpos) {
+      const std::string_view seed =
+          std::string_view(qs).substr(qpos, config.k);
+      if (!dna::is_clean(seed)) continue;
+      if (work != nullptr) *work += static_cast<double>(config.k) * log_n;
+      const auto [lo, hi] = index.sa().find(seed);
+      const std::size_t occurrences = hi - lo;
+      if (occurrences == 0 || occurrences > config.max_kmer_occurrences) {
+        continue;  // absent, or repeat-masked
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto [m, rpos] = index.resolve_member(index.sa().at(i));
+        if (index.members()[m] == query_id) continue;
+        push_hit(scratch, m,
+                 static_cast<std::int64_t>(qpos) -
+                     static_cast<std::int64_t>(rpos));
+        if (work != nullptr) *work += 1.0;
+      }
+    }
+  } else {
+    const KmerIndex& ki = index.kmers();
+    FOCUS_CHECK(ki.k() == config.k,
+                "k-mer index seed length does not match query config");
+    scratch.query_packed.assign(qs);
+    std::uint64_t key;
+    for (std::size_t qpos = 0; qpos + config.k <= qs.size(); ++qpos) {
+      if (!scratch.query_packed.kmer_at(qpos, config.k, key)) continue;
+      // O(1) expected: one hash probe, no per-character comparisons.
+      if (work != nullptr) *work += 1.0;
+      const auto [first, last] = ki.find(key);
+      const auto occurrences = static_cast<std::size_t>(last - first);
+      if (occurrences == 0 || occurrences > config.max_kmer_occurrences) {
+        continue;  // absent, or repeat-masked
+      }
+      for (const KmerIndex::Posting* p = first; p != last; ++p) {
+        if (index.members()[p->member] == query_id) continue;
+        push_hit(scratch, p->member,
+                 static_cast<std::int64_t>(qpos) -
+                     static_cast<std::int64_t>(p->pos));
+        if (work != nullptr) *work += 1.0;
+      }
+    }
+  }
+
+  // Order candidates by read id for deterministic output.
+  for (const std::uint32_t m : scratch.touched) {
+    if (scratch.member_diags[m].size() >= config.min_kmer_hits) {
+      scratch.candidates.emplace_back(index.members()[m], m);
+    }
+  }
+  std::sort(scratch.candidates.begin(), scratch.candidates.end());
+
+  for (const auto& [ref_id, m] : scratch.candidates) {
+    auto& diags = scratch.member_diags[m];
+    const auto diagonal = consensus_diagonal(diags, config.min_kmer_hits,
+                                             config.diagonal_tolerance);
+    if (diagonal) {
+      if (auto o = verify_overlap(reads, query_id, ref_id, *diagonal, config,
+                                  work)) {
+        out.push_back(*o);
+      }
+    }
+  }
+
+  // Reset for the next query; capacities are retained.
+  for (const std::uint32_t m : scratch.touched) {
+    scratch.member_diags[m].clear();
+  }
+}
 
 std::vector<Overlap> query_overlaps(const io::ReadSet& reads,
                                     const RefIndex& index, ReadId query_id,
                                     const OverlapperConfig& config,
                                     double* work) {
-  const std::string& qs = reads[query_id].seq;
   std::vector<Overlap> out;
-  if (qs.size() < config.k) return out;
-
-  // Collect seed diagonals per reference read.
-  std::unordered_map<ReadId, std::vector<std::int64_t>> hits;
-  const double log_n =
-      std::log2(static_cast<double>(index.sa().size()) + 2.0);
-  for (std::size_t qpos = 0; qpos + config.k <= qs.size(); ++qpos) {
-    const std::string_view seed =
-        std::string_view(qs).substr(qpos, config.k);
-    if (!dna::is_clean(seed)) continue;
-    if (work != nullptr) *work += static_cast<double>(config.k) * log_n;
-    const auto [lo, hi] = index.sa().find(seed);
-    const std::size_t occurrences = hi - lo;
-    if (occurrences == 0 || occurrences > config.max_kmer_occurrences) {
-      continue;  // absent, or repeat-masked
-    }
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto [ref_id, rpos] = index.resolve(index.sa().at(i));
-      if (ref_id == query_id) continue;
-      hits[ref_id].push_back(static_cast<std::int64_t>(qpos) -
-                             static_cast<std::int64_t>(rpos));
-      if (work != nullptr) *work += 1.0;
-    }
-  }
-
-  // Order candidates by read id for deterministic output.
-  std::vector<ReadId> candidates;
-  candidates.reserve(hits.size());
-  for (const auto& [ref_id, diags] : hits) {
-    if (diags.size() >= config.min_kmer_hits) candidates.push_back(ref_id);
-  }
-  std::sort(candidates.begin(), candidates.end());
-
-  for (const ReadId ref_id : candidates) {
-    auto& diags = hits[ref_id];
-    const auto diagonal = consensus_diagonal(diags, config.min_kmer_hits,
-                                             config.diagonal_tolerance);
-    if (!diagonal) continue;
-    if (auto o = verify_overlap(reads, query_id, ref_id, *diagonal, config,
-                                work)) {
-      out.push_back(*o);
-    }
-  }
+  query_overlaps_into(reads, index, query_id, config, tls_align_scratch(), out,
+                      work);
   return out;
 }
 
@@ -194,7 +294,11 @@ std::vector<Overlap> dedupe_overlaps(std::vector<Overlap> overlaps) {
               if (a.query != b.query) return a.query < b.query;
               if (a.ref != b.ref) return a.ref < b.ref;
               if (a.length != b.length) return a.length > b.length;
-              return a.identity > b.identity;
+              if (a.identity != b.identity) return a.identity > b.identity;
+              // Total order: without this, which duplicate survives unique()
+              // depends on gather order, so serial and mpr outputs could
+              // disagree on the kind of tied records.
+              return a.kind < b.kind;
             });
   overlaps.erase(std::unique(overlaps.begin(), overlaps.end(),
                              [](const Overlap& a, const Overlap& b) {
@@ -223,9 +327,9 @@ void process_pair(const io::ReadSet& reads,
                   std::size_t i, const RefIndex& index_j,
                   const OverlapperConfig& config, double* work,
                   std::vector<Overlap>& out) {
+  AlignScratch& scratch = tls_align_scratch();
   for (const ReadId q : subsets[i]) {
-    auto found = query_overlaps(reads, index_j, q, config, work);
-    out.insert(out.end(), found.begin(), found.end());
+    query_overlaps_into(reads, index_j, q, config, scratch, out, work);
   }
 }
 
@@ -241,7 +345,7 @@ std::vector<Overlap> find_overlaps_serial(const io::ReadSet& reads,
   std::vector<Overlap> all;
   for (std::size_t j = 0; j < subsets.size(); ++j) {
     if (subsets[j].empty()) continue;
-    RefIndex index(reads, subsets[j]);
+    RefIndex index(reads, subsets[j], config);
     if (work != nullptr) *work += index.build_work();
     for (std::size_t i = 0; i <= j; ++i) {
       process_pair(reads, subsets, i, index, config, work, all);
@@ -276,7 +380,7 @@ std::vector<Overlap> find_overlaps(const io::ReadSet& reads,
   pool.parallel_for(subsets.size(), 1, [&](std::size_t b, std::size_t e) {
     for (std::size_t j = b; j < e; ++j) {
       if (!subsets[j].empty()) {
-        indexes[j] = std::make_unique<RefIndex>(reads, subsets[j]);
+        indexes[j] = std::make_unique<RefIndex>(reads, subsets[j], config);
       }
     }
   });
@@ -309,10 +413,10 @@ std::vector<Overlap> find_overlaps(const io::ReadSet& reads,
         const QueryTask& task = tasks[t];
         TaskResult r;
         double* task_work = work != nullptr ? &r.work : nullptr;
+        AlignScratch& scratch = tls_align_scratch();
         for (std::size_t q = task.q_begin; q < task.q_end; ++q) {
-          auto found = query_overlaps(reads, *indexes[task.j],
-                                      subsets[task.i][q], config, task_work);
-          r.overlaps.insert(r.overlaps.end(), found.begin(), found.end());
+          query_overlaps_into(reads, *indexes[task.j], subsets[task.i][q],
+                              config, scratch, r.overlaps, task_work);
         }
         return r;
       });
@@ -358,7 +462,7 @@ ParallelOverlapResult find_overlaps_parallel(const io::ReadSet& reads,
             }
           }
           if (my_queries.empty() || subsets[j].empty()) continue;
-          RefIndex index(reads, subsets[j]);
+          RefIndex index(reads, subsets[j], config);
           work += index.build_work();
           for (const std::size_t i : my_queries) {
             process_pair(reads, subsets, i, index, config, &work, mine);

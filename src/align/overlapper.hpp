@@ -1,28 +1,45 @@
 // Read overlap detection (paper §II-B, "Parallel Read Alignment").
 //
 // The read set is split into subsets; for every ordered-pair-free combination
-// of subsets (i, j), i <= j, the reference subset j is indexed by a suffix
-// array and every query read of subset i is:
+// of subsets (i, j), i <= j, the reference subset j is indexed and every
+// query read of subset i is:
 //   1. decomposed into k-mers,
 //   2. matched against the index (reads with >= min_kmer_hits seed hits on a
 //      consistent diagonal become candidates),
-//   3. verified with banded Needleman–Wunsch over the implied overlap region,
+//   3. verified with the two-pass banded Needleman–Wunsch kernel over the
+//      implied overlap region (score-only pass + conservative prefilter,
+//      then traceback only for surviving candidates — see banded_nw.hpp),
 //   4. accepted if the alignment length and identity meet the thresholds,
 //      then classified as suffix/prefix overlap or containment.
+//
+// Two seed backends produce byte-identical overlap sets:
+//   * SeedBackend::kKmerHash (default) — 2-bit packed reads + hashed k-mer
+//     postings index (kmer_index.hpp), O(1) expected per seed lookup.
+//   * SeedBackend::kSuffixArray — the paper's suffix array, O(k log n) per
+//     lookup; kept as the reference oracle (tests/seed_equiv_test.cpp).
 //
 // Subset pairs are independent, which is the parallelism the paper exploits:
 // find_overlaps_parallel() distributes pairs over mpr ranks and gathers the
 // results at rank 0.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "align/align_scratch.hpp"
+#include "align/kmer_index.hpp"
 #include "align/overlap.hpp"
 #include "align/suffix_array.hpp"
 #include "io/read.hpp"
 #include "mpr/runtime.hpp"
 
 namespace focus::align {
+
+/// Which index structure backs k-mer seeding.
+enum class SeedBackend {
+  kKmerHash,     ///< hashed postings over 2-bit packed k-mers (fast path)
+  kSuffixArray,  ///< the paper's suffix array (reference oracle)
+};
 
 struct OverlapperConfig {
   /// Seed k-mer length.
@@ -45,29 +62,52 @@ struct OverlapperConfig {
   /// 0 = auto (FOCUS_THREADS env var if set, else hardware concurrency).
   /// Output is byte-identical for every value.
   unsigned threads = 0;
+  /// Seed index backend. Both backends produce byte-identical overlaps;
+  /// the hash backend replaces each O(k log n) suffix-array lookup with an
+  /// O(1) expected hash probe.
+  SeedBackend seed_backend = SeedBackend::kKmerHash;
 };
 
-/// Suffix-array index over one reference subset. Reads are concatenated with
-/// a '\x01' separator, which cannot occur inside an ACGT seed, so every seed
-/// hit lies within a single read.
+/// Seed index over one reference subset, backed by either a hashed k-mer
+/// postings index or a suffix array (config.seed_backend). For the suffix
+/// array, reads are concatenated with a '\x01' separator, which cannot occur
+/// inside an ACGT seed, so every seed hit lies within a single read.
 class RefIndex {
  public:
-  RefIndex(const io::ReadSet& reads, std::vector<ReadId> members);
+  RefIndex(const io::ReadSet& reads, std::vector<ReadId> members,
+           const OverlapperConfig& config = {});
 
   const std::vector<ReadId>& members() const { return members_; }
 
-  /// (read-set id, offset within that read) of a text position.
+  SeedBackend backend() const { return backend_; }
+
+  /// Seed length the index was built for (hash backend; the suffix array is
+  /// k-agnostic and reports the construction-time config value).
+  unsigned seed_k() const { return seed_k_; }
+
+  /// (read-set id, offset within that read) of a concatenated-text position.
   std::pair<ReadId, std::uint32_t> resolve(std::uint32_t text_pos) const;
 
-  const SuffixArray& sa() const { return sa_; }
+  /// (member index, offset within that read) of a concatenated-text position.
+  std::pair<std::uint32_t, std::uint32_t> resolve_member(
+      std::uint32_t text_pos) const;
 
-  /// Work units spent building (suffix array + text assembly).
-  double build_work() const { return sa_.build_work(); }
+  /// The suffix array (only when backend() == kSuffixArray).
+  const SuffixArray& sa() const;
+
+  /// The hashed k-mer index (only when backend() == kKmerHash).
+  const KmerIndex& kmers() const;
+
+  /// Work units spent building the active index.
+  double build_work() const;
 
  private:
   std::vector<ReadId> members_;
+  SeedBackend backend_;
+  unsigned seed_k_;
   std::vector<std::uint32_t> starts_;  // text start offset per member
-  SuffixArray sa_;
+  std::optional<SuffixArray> sa_;
+  std::optional<KmerIndex> kmers_;
 };
 
 /// Finds all accepted overlaps of `query` (with set-id `query_id`) against
@@ -77,6 +117,16 @@ std::vector<Overlap> query_overlaps(const io::ReadSet& reads,
                                     const RefIndex& index, ReadId query_id,
                                     const OverlapperConfig& config,
                                     double* work = nullptr);
+
+/// Allocation-lean variant: appends accepted overlaps to `out` and keeps all
+/// intermediate state (seed-hit lists, candidate lists, DP buffers) in
+/// `scratch`, so driving many queries through one scratch arena performs no
+/// per-query heap allocation after warmup. Drivers call this; the returning
+/// wrapper above is for one-off queries.
+void query_overlaps_into(const io::ReadSet& reads, const RefIndex& index,
+                         ReadId query_id, const OverlapperConfig& config,
+                         AlignScratch& scratch, std::vector<Overlap>& out,
+                         double* work = nullptr);
 
 /// All-pairs overlap detection, single-threaded reference implementation.
 std::vector<Overlap> find_overlaps_serial(const io::ReadSet& reads,

@@ -1,0 +1,91 @@
+#include "common/packed_seq.hpp"
+
+#include <bit>
+
+#include "common/dna.hpp"
+#include "common/error.hpp"
+
+namespace focus::dna {
+
+void PackedSeq::assign(std::string_view seq) {
+  size_ = seq.size();
+  const std::size_t n_base_words = (size_ + 31) / 32;
+  const std::size_t n_mask_words = (size_ + 63) / 64;
+  words_.assign(n_base_words, 0);
+  mask_.assign(n_mask_words, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const char c = seq[i];
+    if (is_base(c)) {
+      words_[i >> 5] |= static_cast<std::uint64_t>(encode_base(c))
+                        << ((i & 31u) * 2);
+    } else {
+      mask_[i >> 6] |= std::uint64_t{1} << (i & 63u);
+    }
+  }
+}
+
+char PackedSeq::char_at(std::size_t i) const {
+  FOCUS_ASSERT(i < size_, "PackedSeq position out of range");
+  return ambiguous_at(i) ? 'N' : decode_base(code_at(i));
+}
+
+std::string PackedSeq::unpack() const {
+  std::string out(size_, 'N');
+  for (std::size_t i = 0; i < size_; ++i) out[i] = char_at(i);
+  return out;
+}
+
+bool PackedSeq::kmer_at(std::size_t pos, unsigned k,
+                        std::uint64_t& out) const {
+  FOCUS_ASSERT(k >= 1 && k <= 32, "kmer_at requires 1 <= k <= 32");
+  if (pos + k > size_) return false;
+
+  // Ambiguity test over the k mask bits starting at `pos` (spans <= 2 words
+  // because k <= 32 < 64).
+  const std::size_t mw = pos >> 6;
+  const unsigned moff = pos & 63u;
+  std::uint64_t mbits = mask_[mw] >> moff;
+  if (moff + k > 64) mbits |= mask_[mw + 1] << (64 - moff);
+  const std::uint64_t kmask =
+      k == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1;
+  if ((mbits & kmask) != 0) return false;
+
+  // Extract the 2k base bits starting at bit 2*pos (spans <= 2 words because
+  // 2k <= 64).
+  const std::size_t bit = pos * 2;
+  const std::size_t bw = bit >> 6;
+  const unsigned boff = bit & 63u;
+  std::uint64_t bits = words_[bw] >> boff;
+  if (boff + 2 * k > 64) bits |= words_[bw + 1] << (64 - boff);
+  const std::uint64_t bmask =
+      k == 32 ? ~std::uint64_t{0} : (std::uint64_t{1} << (2 * k)) - 1;
+  out = bits & bmask;
+  return true;
+}
+
+bool PackedSeq::clean_window(std::size_t pos, std::size_t len) const {
+  if (pos + len > size_ || pos + len < pos) return false;
+  std::size_t i = pos;
+  const std::size_t end = pos + len;
+  while (i < end) {
+    const std::size_t w = i >> 6;
+    const unsigned off = i & 63u;
+    const std::size_t span = std::min<std::size_t>(64 - off, end - i);
+    const std::uint64_t window =
+        span == 64 ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << span) - 1) << off;
+    if ((mask_[w] & window) != 0) return false;
+    i += span;
+  }
+  return true;
+}
+
+std::size_t PackedSeq::ambiguous_count() const {
+  std::size_t n = 0;
+  for (const std::uint64_t w : mask_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+}  // namespace focus::dna

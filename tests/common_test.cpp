@@ -9,6 +9,7 @@
 #include "common/dna.hpp"
 #include "common/error.hpp"
 #include "common/indexed_heap.hpp"
+#include "common/packed_seq.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -184,6 +185,125 @@ TEST(Dna, Identity) {
   EXPECT_DOUBLE_EQ(dna::identity("ACGT", "ACGA"), 0.75);
   EXPECT_DOUBLE_EQ(dna::identity("", ""), 1.0);
   EXPECT_THROW(dna::identity("A", "AB"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// PackedSeq
+// ---------------------------------------------------------------------------
+
+TEST(PackedSeq, RoundTripsCleanSequence) {
+  const std::string seq = "ACGTACGTTTGGCCAA";
+  dna::PackedSeq p(seq);
+  ASSERT_EQ(p.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_FALSE(p.ambiguous_at(i)) << "position " << i;
+    EXPECT_EQ(p.char_at(i), seq[i]) << "position " << i;
+  }
+  EXPECT_EQ(p.unpack(), seq);
+  EXPECT_EQ(p.ambiguous_count(), 0u);
+}
+
+TEST(PackedSeq, MarksNAndLowercaseAndJunkAmbiguous) {
+  // Lowercase is NOT silently uppercased: the index must match the literal
+  // semantics of the suffix-array oracle, where 'a' never equals 'A'.
+  const std::string seq = "ACNgt*T";
+  dna::PackedSeq p(seq);
+  EXPECT_FALSE(p.ambiguous_at(0));
+  EXPECT_FALSE(p.ambiguous_at(1));
+  EXPECT_TRUE(p.ambiguous_at(2));   // N
+  EXPECT_TRUE(p.ambiguous_at(3));   // g
+  EXPECT_TRUE(p.ambiguous_at(4));   // t
+  EXPECT_TRUE(p.ambiguous_at(5));   // *
+  EXPECT_FALSE(p.ambiguous_at(6));
+  EXPECT_EQ(p.unpack(), "ACNNNNT");
+  EXPECT_EQ(p.ambiguous_count(), 4u);
+}
+
+TEST(PackedSeq, EmptyAndShorterThanK) {
+  dna::PackedSeq empty{std::string_view{}};
+  EXPECT_TRUE(empty.empty());
+  std::uint64_t key = 99;
+  EXPECT_FALSE(empty.kmer_at(0, 8, key));
+
+  dna::PackedSeq tiny("ACGT");
+  EXPECT_FALSE(tiny.kmer_at(0, 8, key));   // read shorter than k
+  EXPECT_FALSE(tiny.kmer_at(1, 4, key));   // window runs off the end
+  EXPECT_TRUE(tiny.kmer_at(0, 4, key));
+}
+
+TEST(PackedSeq, KmerKeysMatchSubstringEquality) {
+  // kmer_at keys are equal exactly when the underlying substrings are equal
+  // — the property the hashed seed index relies on.
+  Rng rng(42);
+  std::string seq;
+  for (int i = 0; i < 300; ++i) seq.push_back("ACGT"[rng.next_below(4)]);
+  dna::PackedSeq p(seq);
+  for (const unsigned k : {8u, 15u, 16u, 31u, 32u}) {
+    std::map<std::uint64_t, std::string> seen;
+    for (std::size_t pos = 0; pos + k <= seq.size(); ++pos) {
+      std::uint64_t key;
+      ASSERT_TRUE(p.kmer_at(pos, k, key));
+      const std::string sub = seq.substr(pos, k);
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        EXPECT_EQ(it->second, sub) << "key collision at k=" << k;
+      } else {
+        seen.emplace(key, sub);
+      }
+    }
+    // Distinct substrings must get distinct keys.
+    std::set<std::string> subs;
+    for (std::size_t pos = 0; pos + k <= seq.size(); ++pos) {
+      subs.insert(seq.substr(pos, k));
+    }
+    EXPECT_EQ(seen.size(), subs.size()) << "k=" << k;
+  }
+}
+
+TEST(PackedSeq, KmerAtRejectsWindowsTouchingAmbiguousBases) {
+  std::string seq(100, 'A');
+  seq[50] = 'N';
+  dna::PackedSeq p(seq);
+  std::uint64_t key;
+  for (std::size_t pos = 0; pos + 16 <= seq.size(); ++pos) {
+    const bool covers_n = pos <= 50 && 50 < pos + 16;
+    EXPECT_EQ(p.kmer_at(pos, 16, key), !covers_n) << "pos " << pos;
+  }
+  EXPECT_TRUE(p.clean_window(0, 50));
+  EXPECT_FALSE(p.clean_window(0, 51));
+  EXPECT_TRUE(p.clean_window(51, 49));
+  EXPECT_FALSE(p.clean_window(51, 50));  // out of range
+}
+
+TEST(PackedSeq, KmerAtCrossesWordBoundaries) {
+  // Windows straddling the 32-base word boundary must extract correctly.
+  Rng rng(7);
+  std::string seq;
+  for (int i = 0; i < 96; ++i) seq.push_back("ACGT"[rng.next_below(4)]);
+  dna::PackedSeq p(seq);
+  for (const unsigned k : {16u, 32u}) {
+    for (std::size_t pos = 20; pos + k <= 70; ++pos) {
+      std::uint64_t key_direct;
+      ASSERT_TRUE(p.kmer_at(pos, k, key_direct));
+      // Reference: pack the substring standalone (window at offset 0).
+      dna::PackedSeq sub(std::string_view(seq).substr(pos, k));
+      std::uint64_t key_ref;
+      ASSERT_TRUE(sub.kmer_at(0, k, key_ref));
+      EXPECT_EQ(key_direct, key_ref) << "pos " << pos << " k " << k;
+    }
+  }
+}
+
+TEST(PackedSeq, AssignReusesBuffersAcrossSequences) {
+  dna::PackedSeq p("ACGTACGTACGT");
+  p.assign("TTT");
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.unpack(), "TTT");
+  p.assign("ACGNA");
+  EXPECT_EQ(p.unpack(), "ACGNA");
+  std::uint64_t key;
+  EXPECT_TRUE(p.kmer_at(0, 3, key));
+  EXPECT_FALSE(p.kmer_at(1, 3, key));  // covers the N
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,353 @@
+// Seed-backend equivalence suite: the hashed k-mer index (2-bit packed
+// reads, open-addressing postings table) must produce byte-identical overlap
+// sets to the suffix-array oracle — on the simulated benchmark datasets,
+// across k / band / max_kmer_occurrences settings, and at every thread
+// width. This is the acceptance gate for replacing the paper's suffix-array
+// seeding on the hot path (§II-B).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "align/banded_nw.hpp"
+#include "align/kmer_index.hpp"
+#include "align/overlapper.hpp"
+#include "align/suffix_array.hpp"
+#include "common/packed_seq.hpp"
+#include "common/rng.hpp"
+#include "io/preprocess.hpp"
+#include "sim/datasets.hpp"
+
+namespace focus::align {
+namespace {
+
+// Small but non-trivial dataset slices: ~35 kbp of genomes at 6x coverage
+// gives a few hundred preprocessed reads per dataset — enough to exercise
+// repeats, reverse complements, and containments without slowing the suite.
+io::ReadSet dataset_reads(int index) {
+  const sim::Dataset d = sim::make_dataset(index, /*scale=*/0.3,
+                                           /*coverage=*/6.0);
+  return io::preprocess(d.data.reads, {});
+}
+
+bool identical(const std::vector<Overlap>& a, const std::vector<Overlap>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].query != b[i].query || a[i].ref != b[i].ref ||
+        a[i].length != b[i].length || a[i].identity != b[i].identity ||
+        a[i].kind != b[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Overlap> run_with_backend(const io::ReadSet& reads,
+                                      OverlapperConfig cfg,
+                                      SeedBackend backend) {
+  cfg.seed_backend = backend;
+  cfg.threads = 1;
+  return find_overlaps_serial(reads, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// KmerIndex vs SuffixArray: raw seed hits
+// ---------------------------------------------------------------------------
+
+TEST(KmerIndexOracle, PostingsMatchSuffixArrayOccurrenceCounts) {
+  const io::ReadSet reads = dataset_reads(1);
+  std::vector<ReadId> members;
+  for (ReadId id = 0; id < reads.size() && id < 120; ++id) {
+    members.push_back(id);
+  }
+  const unsigned k = 14;
+  const KmerIndex index(reads, members, k);
+
+  // Oracle: concatenated text + suffix array, as RefIndex builds it.
+  std::string text;
+  for (const ReadId id : members) {
+    text += reads[id].seq;
+    text += '\x01';
+  }
+  const SuffixArray sa(text);
+
+  // Every clean k-mer of every member must have identical occurrence counts
+  // in both structures.
+  std::size_t checked = 0;
+  for (std::size_t m = 0; m < members.size(); m += 7) {
+    const std::string& seq = reads[members[m]].seq;
+    dna::PackedSeq packed(seq);
+    for (std::size_t pos = 0; pos + k <= seq.size(); pos += 11) {
+      std::uint64_t key;
+      if (!packed.kmer_at(pos, k, key)) continue;
+      const auto sa_count = sa.count(std::string_view(seq).substr(pos, k));
+      ASSERT_EQ(index.count(key), sa_count)
+          << "member " << m << " pos " << pos;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(KmerIndexOracle, PostingsSortedByMemberThenPosition) {
+  const io::ReadSet reads = dataset_reads(2);
+  std::vector<ReadId> members;
+  for (ReadId id = 0; id < reads.size() && id < 60; ++id) members.push_back(id);
+  const unsigned k = 12;
+  const KmerIndex index(reads, members, k);
+
+  dna::PackedSeq packed(reads[members[0]].seq);
+  std::uint64_t key;
+  std::size_t buckets_checked = 0;
+  for (std::size_t pos = 0; pos + k <= reads[members[0]].seq.size(); ++pos) {
+    if (!packed.kmer_at(pos, k, key)) continue;
+    const auto [first, last] = index.find(key);
+    ASSERT_NE(first, last);  // the k-mer itself must be indexed
+    for (const KmerIndex::Posting* p = first; p + 1 < last; ++p) {
+      const bool ordered = p->member < (p + 1)->member ||
+                           (p->member == (p + 1)->member &&
+                            p->pos < (p + 1)->pos);
+      ASSERT_TRUE(ordered) << "posting order violated";
+    }
+    ++buckets_checked;
+  }
+  EXPECT_GT(buckets_checked, 50u);
+}
+
+TEST(KmerIndexOracle, AbsentAndEmpty) {
+  io::ReadSet reads;
+  reads.add(io::Read{"r0", "ACGTACGTACGTACGT", "", kInvalidRead, false});
+  const KmerIndex index(reads, {0}, 8);
+  // A key built from a sequence not present in the read.
+  dna::PackedSeq probe("TTTTTTTT");
+  std::uint64_t key;
+  ASSERT_TRUE(probe.kmer_at(0, 8, key));
+  EXPECT_EQ(index.count(key), 0u);
+
+  const KmerIndex empty(reads, {}, 8);
+  EXPECT_EQ(empty.posting_count(), 0u);
+  EXPECT_EQ(empty.count(key), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence on the simulated datasets
+// ---------------------------------------------------------------------------
+
+TEST(SeedBackendEquivalence, SweepKBandAndMaskingOnDataset1) {
+  const io::ReadSet reads = dataset_reads(1);
+  ASSERT_GT(reads.size(), 100u);
+  for (const unsigned k : {12u, 16u}) {
+    for (const std::uint32_t band : {4u, 8u}) {
+      for (const std::size_t max_occ : {std::size_t{16}, std::size_t{64}}) {
+        SCOPED_TRACE("k=" + std::to_string(k) + " band=" +
+                     std::to_string(band) + " max_occ=" +
+                     std::to_string(max_occ));
+        OverlapperConfig cfg;
+        cfg.k = k;
+        cfg.band = band;
+        cfg.max_kmer_occurrences = max_occ;
+        cfg.min_overlap = 40;
+        cfg.subsets = 3;
+        const auto hashed =
+            run_with_backend(reads, cfg, SeedBackend::kKmerHash);
+        const auto oracle =
+            run_with_backend(reads, cfg, SeedBackend::kSuffixArray);
+        EXPECT_TRUE(identical(hashed, oracle))
+            << "hashed=" << hashed.size() << " oracle=" << oracle.size();
+      }
+    }
+  }
+}
+
+TEST(SeedBackendEquivalence, AllDatasetsDefaultConfig) {
+  for (int d = 1; d <= 3; ++d) {
+    SCOPED_TRACE("dataset D" + std::to_string(d));
+    const io::ReadSet reads = dataset_reads(d);
+    OverlapperConfig cfg;
+    cfg.k = 14;
+    cfg.subsets = 4;
+    const auto hashed = run_with_backend(reads, cfg, SeedBackend::kKmerHash);
+    const auto oracle =
+        run_with_backend(reads, cfg, SeedBackend::kSuffixArray);
+    ASSERT_GT(oracle.size(), 0u);
+    EXPECT_TRUE(identical(hashed, oracle))
+        << "hashed=" << hashed.size() << " oracle=" << oracle.size();
+  }
+}
+
+TEST(SeedBackendEquivalence, ReadsWithAmbiguousBases) {
+  // Sprinkle Ns over a dataset slice: windows touching an N must be skipped
+  // identically by the packed extraction and the literal suffix-array match.
+  io::ReadSet base = dataset_reads(1);
+  Rng rng(99);
+  io::ReadSet reads;
+  for (ReadId id = 0; id < base.size() && id < 150; ++id) {
+    io::Read r = base[id];
+    if (rng.next_bool(0.5)) {
+      r.seq[rng.next_below(r.seq.size())] = 'N';
+    }
+    reads.add(std::move(r));
+  }
+  OverlapperConfig cfg;
+  cfg.k = 12;
+  cfg.subsets = 2;
+  cfg.min_overlap = 40;
+  const auto hashed = run_with_backend(reads, cfg, SeedBackend::kKmerHash);
+  const auto oracle = run_with_backend(reads, cfg, SeedBackend::kSuffixArray);
+  EXPECT_TRUE(identical(hashed, oracle))
+      << "hashed=" << hashed.size() << " oracle=" << oracle.size();
+}
+
+class SeedBackendThreadWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SeedBackendThreadWidths, HashedPoolMatchesSuffixArraySerial) {
+  const io::ReadSet reads = dataset_reads(2);
+  OverlapperConfig cfg;
+  cfg.k = 14;
+  cfg.subsets = 3;
+  cfg.seed_backend = SeedBackend::kSuffixArray;
+  cfg.threads = 1;
+  const auto oracle = find_overlaps_serial(reads, cfg);
+  ASSERT_GT(oracle.size(), 0u);
+
+  cfg.seed_backend = SeedBackend::kKmerHash;
+  cfg.threads = GetParam();
+  const auto hashed = find_overlaps(reads, cfg);
+  EXPECT_TRUE(identical(hashed, oracle))
+      << "hashed=" << hashed.size() << " oracle=" << oracle.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SeedBackendThreadWidths,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(SeedBackendEquivalence, MprRanksMatchOracle) {
+  const io::ReadSet reads = dataset_reads(3);
+  OverlapperConfig cfg;
+  cfg.k = 14;
+  cfg.subsets = 3;
+  cfg.seed_backend = SeedBackend::kSuffixArray;
+  const auto oracle = find_overlaps_serial(reads, cfg);
+
+  cfg.seed_backend = SeedBackend::kKmerHash;
+  const auto parallel = find_overlaps_parallel(reads, cfg, 3);
+  EXPECT_TRUE(identical(parallel.overlaps, oracle))
+      << "mpr=" << parallel.overlaps.size() << " oracle=" << oracle.size();
+  EXPECT_GT(parallel.stats.makespan, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Two-pass banded NW: score pass and prefilter soundness
+// ---------------------------------------------------------------------------
+
+TEST(TwoPassNw, ScoreOnlyMatchesFullPassOnRandomPairs) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a;
+    const auto len = 30 + rng.next_below(120);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      a.push_back("ACGT"[rng.next_below(4)]);
+    }
+    std::string b;
+    for (const char c : a) {
+      if (rng.next_bool(0.03)) continue;                 // deletion
+      b.push_back(rng.next_bool(0.06) ? "ACGT"[rng.next_below(4)] : c);
+      if (rng.next_bool(0.03)) b.push_back("ACGT"[rng.next_below(4)]);
+    }
+    const auto band = static_cast<std::uint32_t>(2 + rng.next_below(14));
+    const BandScore pre = banded_score_only(a, b, band);
+    const AlignmentResult full = banded_global_align(a, b, band);
+    ASSERT_EQ(pre.valid, full.valid) << "trial " << trial;
+    if (full.valid) {
+      ASSERT_EQ(pre.score, full.score) << "trial " << trial;
+    }
+  }
+}
+
+TEST(TwoPassNw, PrefilterNeverRejectsAnAcceptableAlignment) {
+  // Soundness: whenever score_may_pass() says no, the full traceback must
+  // indeed fail the (min_columns, min_identity) thresholds.
+  Rng rng(777);
+  int rejections = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string a, b;
+    const auto len = 20 + rng.next_below(100);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      a.push_back("ACGT"[rng.next_below(4)]);
+    }
+    // Mix of related and unrelated partners to cover both filter outcomes.
+    if (rng.next_bool(0.5)) {
+      for (const char c : a) {
+        b.push_back(rng.next_bool(0.25) ? "ACGT"[rng.next_below(4)] : c);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < len; ++i) {
+        b.push_back("ACGT"[rng.next_below(4)]);
+      }
+    }
+    const std::uint32_t band = 8;
+    const std::uint32_t min_columns = 30 + rng.next_below(40);
+    const double min_identity = 0.80 + 0.15 * rng.next_real();
+    const BandScore pre = banded_score_only(a, b, band);
+    ASSERT_TRUE(pre.valid);
+    const bool may_pass =
+        score_may_pass(pre.score, a.size(), b.size(), min_columns,
+                       min_identity);
+    const AlignmentResult full = banded_global_align(a, b, band);
+    const bool accepted = full.valid && full.columns >= min_columns &&
+                          full.identity() >= min_identity;
+    if (!may_pass) {
+      ++rejections;
+      EXPECT_FALSE(accepted)
+          << "prefilter rejected an acceptable alignment: score=" << pre.score
+          << " columns=" << full.columns << " identity=" << full.identity();
+    }
+  }
+  EXPECT_GT(rejections, 0) << "sweep never exercised the reject path";
+}
+
+TEST(TwoPassNw, PrefilterAbstainsForUnsoundScoring) {
+  // A scoring where mismatch < 2*gap breaks the bound derivation; the filter
+  // must abstain (return true) rather than guess.
+  AlignScoring odd;
+  odd.match = 1;
+  odd.mismatch = -9;
+  odd.gap = -1;
+  EXPECT_TRUE(score_may_pass(0, 100, 100, 1000, 1.0, odd));
+}
+
+// ---------------------------------------------------------------------------
+// RefIndex backend plumbing
+// ---------------------------------------------------------------------------
+
+TEST(RefIndexBackend, SuffixArrayBackendStillServesSa) {
+  io::ReadSet reads;
+  reads.add(io::Read{"a", "ACGTACGTAC", "", kInvalidRead, false});
+  reads.add(io::Read{"b", "TTGGCCAATT", "", kInvalidRead, false});
+  OverlapperConfig cfg;
+  cfg.seed_backend = SeedBackend::kSuffixArray;
+  RefIndex index(reads, {0, 1}, cfg);
+  EXPECT_EQ(index.backend(), SeedBackend::kSuffixArray);
+  EXPECT_EQ(index.sa().count("ACGT"), 2u);
+  EXPECT_EQ(index.resolve(0).first, 0u);
+  EXPECT_EQ(index.resolve(11).first, 1u);
+  EXPECT_EQ(index.resolve(11).second, 0u);
+  EXPECT_GT(index.build_work(), 0.0);
+}
+
+TEST(RefIndexBackend, HashBackendServesKmersAndResolve) {
+  io::ReadSet reads;
+  reads.add(io::Read{"a", "ACGTACGTACGTACGT", "", kInvalidRead, false});
+  OverlapperConfig cfg;
+  cfg.k = 8;
+  RefIndex index(reads, {0}, cfg);
+  EXPECT_EQ(index.backend(), SeedBackend::kKmerHash);
+  EXPECT_EQ(index.seed_k(), 8u);
+  EXPECT_GT(index.kmers().posting_count(), 0u);
+  EXPECT_GT(index.build_work(), 0.0);
+  // resolve() works regardless of backend (it only needs member offsets).
+  EXPECT_EQ(index.resolve(3).first, 0u);
+  EXPECT_EQ(index.resolve(3).second, 3u);
+}
+
+}  // namespace
+}  // namespace focus::align

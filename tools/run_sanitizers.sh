@@ -1,23 +1,30 @@
 #!/usr/bin/env bash
-# Runs the tier-1 ctest suite under ThreadSanitizer and AddressSanitizer.
+# Runs the tier-1 ctest suite under ThreadSanitizer and combined
+# AddressSanitizer+UndefinedBehaviorSanitizer — so the seed-backend
+# equivalence suite (hashed k-mer index vs suffix-array oracle, packed-read
+# bit manipulation, two-pass NW scratch reuse) is exercised under both
+# memory/UB and data-race checking.
 #
-#   tools/run_sanitizers.sh [thread|address] [ctest args...]
+#   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]
 #
-# With no argument both sanitizers run. Builds land in build-tsan/ and
-# build-asan/ (never in the plain build/ tree). Any extra arguments are
-# passed to ctest, e.g.:
+# With no argument TSan and ASan+UBSan both run. Builds land in build-tsan/
+# and build-asan-ubsan/ (never in the plain build/ tree). Any extra
+# arguments are passed to ctest, e.g.:
 #
-#   tools/run_sanitizers.sh thread -R Thread   # only the pool tests, TSan
+#   tools/run_sanitizers.sh thread -R Thread       # only pool tests, TSan
+#   tools/run_sanitizers.sh asan-ubsan -R Seed     # equivalence, ASan+UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 sanitizers=()
 case "${1:-all}" in
-  thread|tsan)   sanitizers=(thread)         ;;
-  address|asan)  sanitizers=(address)        ;;
-  all)           sanitizers=(thread address) ;;
-  *) echo "usage: $0 [thread|address] [ctest args...]" >&2; exit 2 ;;
+  thread|tsan)           sanitizers=(thread)                     ;;
+  address|asan)          sanitizers=(address)                    ;;
+  asan-ubsan|address+undefined) sanitizers=(address+undefined)   ;;
+  all)                   sanitizers=(thread address+undefined)   ;;
+  *) echo "usage: $0 [thread|address|asan-ubsan] [ctest args...]" >&2
+     exit 2 ;;
 esac
 [ $# -gt 0 ] && shift || true
 
@@ -27,6 +34,7 @@ status=0
 for san in "${sanitizers[@]}"; do
   dir="build-tsan"
   [ "$san" = "address" ] && dir="build-asan"
+  [ "$san" = "address+undefined" ] && dir="build-asan-ubsan"
   echo "=== ${san} sanitizer -> ${dir} ==="
   cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DFOCUS_SANITIZE="$san"

@@ -1,49 +1,169 @@
 // Fig. 4 — Graph partitioning speedup.
 //
+//   $ ./fig4_partition_speedup [--smoke] [output.json]
+//
 // Paper: speedup curve for partitioning the hybrid graph sets of the three
 // read datasets into 16 partitions with 1..12 processors, three runs per
 // point (random GGG seeds), mean ± sd; gains level off around 8–10
 // processors because 2^(log2 16 − 1) = 8 bisection tasks and ~10 graph
 // levels bound the available parallelism.
 //
-// Here: identical experiment in virtual time (makespan of the mpr runtime).
+// Three measurements per dataset, all recorded in the BENCH json:
+//  A. the paper's experiment in deterministic virtual time (mpr makespan,
+//     ranks 1..12) — answers the cluster-scaling question;
+//  B. wall-clock of the pooled host driver (PartitionerConfig::threads in
+//     {1,2,4,8}); every pooled run is checked byte-identical — part vectors
+//     at every level, cut, and work accounting — against the width-1
+//     reference, and the bench exits nonzero on a mismatch;
+//  C. a modeled pool speedup: greedy list-scheduling of the measured
+//     per-region work grid (HierarchyPartitioning::step_work/kway_work) over
+//     w workers, respecting the recursion-tree dependencies. This isolates
+//     the algorithmic parallelism from the host's core count, so the curve
+//     is meaningful even on a single-core machine (where B cannot win).
+//
+// --smoke shrinks the workload (dataset 1 only, scale 0.15, coverage 3) so
+// the run doubles as the perf-smoke ctest.
 #include "bench_common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <thread>
 
 #include "common/stats.hpp"
 #include "partition/mlpart.hpp"
 
-int main() {
-  using namespace focus;
+namespace {
+
+using namespace focus;
+
+// Greedy list scheduling of the measured work grid on `workers` identical
+// workers. Bisection tasks obey the recursion-tree precedence (region (s,r)
+// unlocks (s+1,r) and (s+1,r+2^s)); the k-way level refinements all start
+// after the tree completes (the driver's phase barrier). Returns the modeled
+// makespan in work units.
+double modeled_makespan(const partition::HierarchyPartitioning& p,
+                        unsigned workers) {
+  struct Task {
+    double ready;  // earliest start (parent finish time)
+    double work;
+  };
+  // Worker free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (unsigned w = 0; w < workers; ++w) free_at.push(0.0);
+
+  const auto run_task = [&](double ready, double work) {
+    double start = free_at.top();
+    free_at.pop();
+    start = std::max(start, ready);
+    const double finish = start + work;
+    free_at.push(finish);
+    return finish;
+  };
+
+  // Walk the tree step by step; finish[r] is the finish time of region r's
+  // bisection in the current step (== ready time of its two children).
+  std::vector<double> finish{0.0};
+  double tree_done = 0.0;
+  for (const auto& step : p.step_work) {
+    std::vector<double> next(step.size() * 2, 0.0);
+    for (std::size_t r = 0; r < step.size(); ++r) {
+      const double f = run_task(finish[r], step[r]);
+      next[r] = f;
+      next[r + step.size()] = f;
+      tree_done = std::max(tree_done, f);
+    }
+    finish = std::move(next);
+  }
+
+  // Phase barrier, then the per-level k-way refinements in level order.
+  while (!free_at.empty()) free_at.pop();
+  for (unsigned w = 0; w < workers; ++w) free_at.push(tree_done);
+  double done = tree_done;
+  for (const double work : p.kway_work) {
+    done = std::max(done, run_task(tree_done, work));
+  }
+  return done;
+}
+
+bool same_partitioning(const partition::HierarchyPartitioning& a,
+                       const partition::HierarchyPartitioning& b) {
+  return a.levels == b.levels && a.finest_cut == b.finest_cut &&
+         std::memcmp(&a.work, &b.work, sizeof(double)) == 0 &&
+         a.step_work == b.step_work && a.kway_work == b.kway_work;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace focus::bench;
 
+  bool smoke = false;
+  std::string out_path = "BENCH_partition.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (smoke) {
+    // prepare_dataset reads these; the smoke workload must stay ctest-sized.
+    setenv("FOCUS_BENCH_SCALE", "0.15", 1);
+    setenv("FOCUS_BENCH_COVERAGE", "3.0", 1);
+  }
+
   constexpr PartId kParts = 16;
-  constexpr int kMaxRanks = 12;
-  constexpr int kRuns = 3;
+  const int max_ranks = smoke ? 4 : 12;
+  const int runs = smoke ? 1 : 3;
+  const int datasets = smoke ? 1 : sim::dataset_count();
+  const std::vector<unsigned> pool_widths{1, 2, 4, 8};
 
   print_header(
       "FIG. 4 — Partitioning speedup on the hybrid graph sets "
       "(k = 16, 3 runs averaged)");
 
   std::vector<DatasetBundle> bundles;
-  for (int d = 1; d <= sim::dataset_count(); ++d) {
+  for (int d = 1; d <= datasets; ++d) {
     bundles.push_back(prepare_dataset(d));
   }
 
-  const std::vector<int> widths{8, 10, 16, 16, 12, 12};
-  print_row({"Ranks", "Dataset", "vtime mean (s)", "vtime sd", "Speedup",
-             "Wall (s)"},
-            widths);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"partition\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"k\": %d,\n", static_cast<int>(kParts));
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"datasets\": [\n");
+
+  bool all_identical = true;
 
   for (std::size_t d = 0; d < bundles.size(); ++d) {
+    const graph::GraphHierarchy& h = bundles[d].hybrid.hierarchy;
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n",
+                 bundles[d].dataset.name.c_str());
+
+    // --- A: virtual-time rank sweep (the paper's Fig. 4). -----------------
+    const std::vector<int> widths{8, 10, 16, 16, 12, 12};
+    print_row({"Ranks", "Dataset", "vtime mean (s)", "vtime sd", "Speedup",
+               "Wall (s)"},
+              widths);
+    std::fprintf(f, "      \"fig4_vtime\": [\n");
     std::vector<double> base_runs;
-    for (int p = 1; p <= kMaxRanks; ++p) {
+    for (int p = 1; p <= max_ranks; ++p) {
       std::vector<double> vtimes;
       double wall = 0.0;
-      for (int run = 0; run < kRuns; ++run) {
+      for (int run = 0; run < runs; ++run) {
         partition::PartitionerConfig cfg;
         cfg.seed = 1000ull + static_cast<std::uint64_t>(run);
-        const auto result = partition::partition_hierarchy_parallel(
-            bundles[d].hybrid.hierarchy, kParts, cfg, p);
+        const auto result =
+            partition::partition_hierarchy_parallel(h, kParts, cfg, p);
         vtimes.push_back(result.stats.makespan);
         wall += result.stats.wall_seconds;
       }
@@ -53,13 +173,83 @@ int main() {
                  fmt(mean(vtimes), 4), fmt(stddev(vtimes), 4),
                  fmt(speedup, 2), fmt(wall, 2)},
                 widths);
+      std::fprintf(f,
+                   "        {\"ranks\": %d, \"vtime_mean\": %.6f, "
+                   "\"vtime_sd\": %.6f, \"speedup\": %.3f}%s\n",
+                   p, mean(vtimes), stddev(vtimes), speedup,
+                   p < max_ranks ? "," : "");
     }
+    std::fprintf(f, "      ],\n");
+    std::printf("\n");
+
+    // --- B: wall-clock pooled host driver, identity-checked. --------------
+    partition::PartitionerConfig cfg;
+    cfg.seed = 1000;
+    cfg.threads = 1;
+    Timer t;
+    const auto reference = partition::partition_hierarchy(h, kParts, cfg);
+    const double serial_seconds = t.seconds();
+    std::printf("pooled host driver (threads sweep, wall-clock)\n");
+    std::printf("  %-10s %12s %10s %10s\n", "threads", "seconds", "speedup",
+                "identical");
+    std::printf("  %-10u %12.3f %10s %10s\n", 1u, serial_seconds, "1.00x",
+                "ref");
+    std::fprintf(f, "      \"pool_wall\": {\n");
+    std::fprintf(f, "        \"serial_seconds\": %.6f,\n", serial_seconds);
+    std::fprintf(f, "        \"pool\": [\n");
+    bool identical = true;
+    for (std::size_t w = 1; w < pool_widths.size(); ++w) {
+      cfg.threads = pool_widths[w];
+      Timer tw;
+      const auto pooled = partition::partition_hierarchy(h, kParts, cfg);
+      const double seconds = tw.seconds();
+      const bool same = same_partitioning(reference, pooled);
+      identical = identical && same;
+      std::printf("  %-10u %12.3f %9.2fx %10s\n", pool_widths[w], seconds,
+                  serial_seconds / seconds, same ? "yes" : "NO (BUG)");
+      std::fprintf(f,
+                   "          {\"threads\": %u, \"seconds\": %.6f, "
+                   "\"speedup\": %.3f}%s\n",
+                   pool_widths[w], seconds, serial_seconds / seconds,
+                   w + 1 < pool_widths.size() ? "," : "");
+    }
+    all_identical = all_identical && identical;
+    std::fprintf(f, "        ],\n");
+    std::fprintf(f, "        \"identical_output\": %s\n      },\n",
+                 identical ? "true" : "false");
+
+    // --- C: modeled pool speedup from the measured work grid. -------------
+    const double total_work = modeled_makespan(reference, 1);
+    std::printf("\nmodeled pool speedup (list-scheduled work grid, "
+                "total %.0f units)\n", total_work);
+    std::printf("  %-10s %10s\n", "threads", "speedup");
+    std::fprintf(f, "      \"modeled_pool\": [\n");
+    for (std::size_t w = 0; w < pool_widths.size(); ++w) {
+      const double speedup =
+          total_work / modeled_makespan(reference, pool_widths[w]);
+      std::printf("  %-10u %9.2fx\n", pool_widths[w], speedup);
+      std::fprintf(f, "        {\"threads\": %u, \"speedup\": %.3f}%s\n",
+                   pool_widths[w], speedup,
+                   w + 1 < pool_widths.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n",
+                 d + 1 < bundles.size() ? "," : "");
     std::printf("\n");
   }
+
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
 
   std::printf(
       "Expected shape (paper): speedup rises with ranks and levels off at "
       "~8-10\nbecause bisection offers 2^(log2 k - 1) = 8 concurrent tasks "
       "and k-way\nrefinement one task per graph level (~10 levels).\n");
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: pooled partitioning diverged from the serial "
+                 "reference\n");
+    return 1;
+  }
   return 0;
 }

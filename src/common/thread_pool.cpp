@@ -7,6 +7,16 @@
 
 namespace focus {
 
+namespace {
+
+/// Deque slot of the current thread: workers set their own slot id; every
+/// external caller shares slot 0. Nested parallel_for/fork_join calls issued
+/// from inside a task then push and pop on the worker's own deque (LIFO),
+/// keeping recursive spawns cache-local until someone steals them.
+thread_local unsigned t_slot = 0;
+
+}  // namespace
+
 unsigned default_thread_count() {
   if (const char* env = std::getenv("FOCUS_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
@@ -65,6 +75,7 @@ bool ThreadPool::try_acquire(unsigned self, std::function<void()>& task) {
 }
 
 void ThreadPool::worker_main(unsigned self) {
+  t_slot = self;
   std::function<void()> task;
   while (true) {
     if (try_acquire(self, task)) {
@@ -124,10 +135,11 @@ void ThreadPool::parallel_for(
   }
   wake_cv_.notify_all();
 
-  // The caller is participant 0: execute and steal until the batch drains.
+  // The caller is a full participant: execute and steal until the batch
+  // drains (starting from its own deque when called from inside a task).
   std::function<void()> task;
   while (batch.remaining.load(std::memory_order_acquire) > 0) {
-    if (try_acquire(0, task)) {
+    if (try_acquire(t_slot, task)) {
       task();
       task = nullptr;
     } else {
@@ -135,6 +147,62 @@ void ThreadPool::parallel_for(
     }
   }
   if (batch.eptr) std::rethrow_exception(batch.eptr);
+}
+
+void ThreadPool::fork_join(const std::function<void()>& left,
+                           const std::function<void()>& right) {
+  if (threads_ == 1) {
+    left();
+    right();
+    return;
+  }
+
+  struct Fork {
+    std::atomic<bool> done{false};
+    std::mutex eptr_mu;
+    std::exception_ptr eptr;
+  } fork;
+
+  const unsigned self = t_slot;
+  {
+    std::lock_guard<std::mutex> lk(deques_[self]->mu);
+    deques_[self]->tasks.push_back([&fork, &right] {
+      try {
+        right();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(fork.eptr_mu);
+        fork.eptr = std::current_exception();
+      }
+      fork.done.store(true, std::memory_order_release);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    unclaimed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+
+  std::exception_ptr left_eptr;
+  try {
+    left();
+  } catch (...) {
+    left_eptr = std::current_exception();
+  }
+
+  // Help-first join: `right` is either still in a deque (our LIFO pop finds
+  // it first), running elsewhere (we execute unrelated tasks meanwhile), or
+  // done. The caller never sleeps while work it depends on is pending.
+  std::function<void()> task;
+  while (!fork.done.load(std::memory_order_acquire)) {
+    if (try_acquire(self, task)) {
+      task();
+      task = nullptr;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  if (left_eptr) std::rethrow_exception(left_eptr);
+  if (fork.eptr) std::rethrow_exception(fork.eptr);
 }
 
 }  // namespace focus

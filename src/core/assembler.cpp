@@ -136,7 +136,7 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
   {
     auto simplified = dist::simplify_parallel(
         built.graph, node_part, config_.partitions, config_.simplify,
-        config_.ranks, config_.cost);
+        config_.ranks, config_.cost, config_.partitioner.threads);
     result.simplify_stats = simplified.stats;
     StageTiming t;
     t.wall = wall.seconds();
@@ -149,7 +149,7 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
   {
     auto traversed = dist::traverse_parallel(
         built.graph, node_part, config_.partitions, config_.ranks,
-        config_.cost);
+        config_.cost, config_.partitioner.threads);
     result.paths = std::move(traversed.paths);
     std::vector<std::string> contigs;
     contigs.reserve(result.paths.size());

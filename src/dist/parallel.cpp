@@ -3,22 +3,15 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace focus::dist {
 
 namespace {
 
-// Nodes of each partition, in node-id order.
-std::vector<std::vector<NodeId>> partition_nodes(std::span<const PartId> part,
-                                                 PartId nparts) {
-  std::vector<std::vector<NodeId>> nodes(static_cast<std::size_t>(nparts));
-  for (NodeId v = 0; v < part.size(); ++v) {
-    FOCUS_CHECK(part[v] >= 0 && part[v] < nparts,
-                "node with invalid partition id");
-    nodes[static_cast<std::size_t>(part[v])].push_back(v);
-  }
-  return nodes;
-}
+/// Below this the chunked gather costs more than the serial scan.
+constexpr std::size_t kParallelGatherMinNodes = 4096;
+constexpr std::size_t kGatherGrain = 4096;
 
 bool mine(std::size_t partition, const mpr::Comm& comm) {
   return static_cast<int>(partition %
@@ -28,13 +21,48 @@ bool mine(std::size_t partition, const mpr::Comm& comm) {
 
 }  // namespace
 
+std::vector<std::vector<NodeId>> partition_node_lists(
+    std::span<const PartId> part, PartId nparts, unsigned threads) {
+  std::vector<std::vector<NodeId>> nodes(static_cast<std::size_t>(nparts));
+  const std::size_t n = part.size();
+  const auto gather = [&](std::size_t begin, std::size_t end,
+                          std::vector<std::vector<NodeId>>& out) {
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      FOCUS_CHECK(part[v] >= 0 && part[v] < nparts,
+                  "node with invalid partition id");
+      out[static_cast<std::size_t>(part[v])].push_back(v);
+    }
+  };
+  const unsigned resolved = resolve_thread_count(threads);
+  if (resolved <= 1 || n < kParallelGatherMinNodes) {
+    gather(0, n, nodes);
+    return nodes;
+  }
+  ThreadPool pool(resolved);
+  const std::size_t chunks = (n + kGatherGrain - 1) / kGatherGrain;
+  std::vector<std::vector<std::vector<NodeId>>> local(
+      chunks, std::vector<std::vector<NodeId>>(static_cast<std::size_t>(nparts)));
+  pool.parallel_for(n, kGatherGrain, [&](std::size_t b, std::size_t e) {
+    gather(b, e, local[b / kGatherGrain]);
+  });
+  // Merge in chunk order: each per-part list stays in ascending node order,
+  // so the result equals the serial scan at every width.
+  for (auto& chunk : local) {
+    for (std::size_t p = 0; p < nodes.size(); ++p) {
+      nodes[p].insert(nodes[p].end(), chunk[p].begin(), chunk[p].end());
+    }
+  }
+  return nodes;
+}
+
 ParallelSimplifyResult simplify_parallel(AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts,
                                          const SimplifyConfig& config,
-                                         int nranks, mpr::CostModel cost) {
+                                         int nranks, mpr::CostModel cost,
+                                         unsigned threads) {
   FOCUS_CHECK(part.size() == g.node_count(), "partition size mismatch");
-  const auto nodes = partition_nodes(part, nparts);
+  const auto nodes = partition_node_lists(part, nparts, threads);
 
   ParallelSimplifyResult out;
   out.run = mpr::Runtime::execute(
@@ -170,9 +198,10 @@ ParallelSimplifyResult simplify_parallel(AsmGraph& g,
 ParallelTraverseResult traverse_parallel(const AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts, int nranks,
-                                         mpr::CostModel cost) {
+                                         mpr::CostModel cost,
+                                         unsigned threads) {
   FOCUS_CHECK(part.size() == g.node_count(), "partition size mismatch");
-  const auto nodes = partition_nodes(part, nparts);
+  const auto nodes = partition_node_lists(part, nparts, threads);
 
   ParallelTraverseResult out;
   out.run = mpr::Runtime::execute(

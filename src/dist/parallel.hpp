@@ -14,6 +14,15 @@
 
 namespace focus::dist {
 
+/// Nodes of each partition, in ascending node-id order. This is the host-side
+/// gather both drivers below run before entering the mpr runtime. `threads`
+/// follows the PartitionerConfig::threads convention (0 = auto via
+/// FOCUS_THREADS; 1 = serial): with more than one thread, chunks of the part
+/// vector are scattered in parallel into per-chunk lists that are merged in
+/// chunk order, so the result is identical at every width.
+std::vector<std::vector<NodeId>> partition_node_lists(
+    std::span<const PartId> part, PartId nparts, unsigned threads = 1);
+
 struct ParallelSimplifyResult {
   SimplifyStats stats;
   mpr::RunStats run;
@@ -21,12 +30,16 @@ struct ParallelSimplifyResult {
 
 /// Distributed graph trimming: transitive reduction, containment removal and
 /// edge verification, dead-end trimming, bubble popping — each as a
-/// worker-record / master-apply phase separated by barriers.
+/// worker-record / master-apply phase separated by barriers. `threads`
+/// parallelizes the host-side partition gather only (see
+/// partition_node_lists); the per-rank bodies stay single-threaded so the
+/// virtual-time measurement is not confounded by host parallelism.
 ParallelSimplifyResult simplify_parallel(AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts,
                                          const SimplifyConfig& config,
-                                         int nranks, mpr::CostModel cost = {});
+                                         int nranks, mpr::CostModel cost = {},
+                                         unsigned threads = 1);
 
 struct ParallelTraverseResult {
   std::vector<std::vector<NodeId>> paths;
@@ -34,10 +47,12 @@ struct ParallelTraverseResult {
 };
 
 /// Distributed maximal-path traversal: workers grow partition-local
-/// sub-paths; the master joins them across partition boundaries.
+/// sub-paths; the master joins them across partition boundaries. `threads`
+/// as in simplify_parallel.
 ParallelTraverseResult traverse_parallel(const AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts, int nranks,
-                                         mpr::CostModel cost = {});
+                                         mpr::CostModel cost = {},
+                                         unsigned threads = 1);
 
 }  // namespace focus::dist

@@ -8,6 +8,12 @@
 // side's incident edge weight exceeds 1.03× the other's, it stops and a new
 // seed starts the other side. Growing ends when either side reaches half the
 // graph's node weight; leftover nodes go to the lighter side.
+//
+// Serial by design: every absorption changes the frontier gains the next
+// absorption reads, so the growth loop is a sequential dependence chain with
+// no scoring pass worth pooling. It only ever runs on the coarsest graph of
+// a region (a few hundred nodes), so the parallel partitioner (mlpart.hpp)
+// instead overlaps whole bisect_region calls via fork_join.
 #pragma once
 
 #include <vector>

@@ -101,10 +101,14 @@ BestPair naive_best_pair(const Graph& g, const std::vector<NodeD>& side0,
   return best;
 }
 
+/// Below this the D-value sweep is cheaper than waking the pool.
+constexpr std::size_t kParallelKlMinNodes = 512;
+
 }  // namespace
 
 Weight kl_bisection_refine(const Graph& g, std::vector<PartId>& part,
-                           const KlConfig& config, double* work) {
+                           const KlConfig& config, double* work,
+                           ThreadPool* pool) {
   const std::size_t n = g.node_count();
   FOCUS_CHECK(part.size() == n, "partition size mismatch");
   for (const PartId p : part) {
@@ -114,22 +118,44 @@ Weight kl_bisection_refine(const Graph& g, std::vector<PartId>& part,
   Weight cut = edge_cut(g, part);
   if (work != nullptr) *work += static_cast<double>(g.edge_count());
 
+  const bool pooled =
+      pool != nullptr && pool->thread_count() > 1 && n >= kParallelKlMinNodes;
+
   std::vector<Weight> d(n);
   std::vector<bool> locked(n);
 
+  // D value of one node: external minus internal incident weight.
+  const auto d_of = [&](NodeId v) {
+    Weight e = 0, i = 0;
+    for (const Edge& edge : g.neighbors(v)) {
+      if (part[edge.to] == part[v]) {
+        i += edge.weight;
+      } else {
+        e += edge.weight;
+      }
+    }
+    return e - i;
+  };
+
   for (std::size_t pass = 0; pass < config.max_passes; ++pass) {
-    // D values: external minus internal incident weight.
-    for (NodeId v = 0; v < n; ++v) {
-      Weight e = 0, i = 0;
-      for (const Edge& edge : g.neighbors(v)) {
-        if (part[edge.to] == part[v]) {
-          i += edge.weight;
-        } else {
-          e += edge.weight;
+    // D-value initialization: parallel scoring into per-node slots (each
+    // d[v] is a pure function of the pass-entry partition, so the sweep
+    // order cannot matter); work is charged in the serial index order
+    // afterwards so the float accumulation matches the serial path exactly.
+    if (pooled) {
+      pool->parallel_for(n, 512, [&](std::size_t b, std::size_t e) {
+        for (std::size_t v = b; v < e; ++v) d[v] = d_of(static_cast<NodeId>(v));
+      });
+      if (work != nullptr) {
+        for (NodeId v = 0; v < n; ++v) {
+          *work += static_cast<double>(g.degree(v));
         }
       }
-      d[v] = e - i;
-      if (work != nullptr) *work += static_cast<double>(g.degree(v));
+    } else {
+      for (NodeId v = 0; v < n; ++v) {
+        d[v] = d_of(v);
+        if (work != nullptr) *work += static_cast<double>(g.degree(v));
+      }
     }
     std::fill(locked.begin(), locked.end(), false);
 

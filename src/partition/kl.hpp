@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 
@@ -31,8 +32,15 @@ struct KlConfig {
 
 /// Refines a bisection (part ids 0/1) in place; returns the final edge cut.
 /// `work` accumulates work units for virtual-time accounting.
+///
+/// With a pool, the per-pass D-value initialization (the O(E) scoring sweep)
+/// runs as a parallel scoring pass into per-node slots; the swap loop itself
+/// stays sequential. D values are pure functions of (graph, part), so the
+/// refinement — and the accumulated `work` — are bit-identical at every pool
+/// width, including pool == nullptr.
 Weight kl_bisection_refine(const graph::Graph& g, std::vector<PartId>& part,
                            const KlConfig& config = {},
-                           double* work = nullptr);
+                           double* work = nullptr,
+                           ThreadPool* pool = nullptr);
 
 }  // namespace focus::partition

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 
@@ -24,8 +25,15 @@ struct KwayConfig {
 };
 
 /// Refines a k-way partitioning in place; returns the final edge cut.
+///
+/// With a pool, the per-pass queue seeding (external cost + gain for every
+/// node, an O(E) sweep) runs as a parallel scoring pass into per-node slots;
+/// the heap is then seeded by a sequential commit loop in node order, so the
+/// queue contents — and the accumulated `work` — are bit-identical at every
+/// pool width. The move loop itself is inherently sequential (each move
+/// changes the gains it reads) and stays serial.
 Weight kway_kl_refine(const graph::Graph& g, std::vector<PartId>& part,
                       PartId parts, const KwayConfig& config = {},
-                      double* work = nullptr);
+                      double* work = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace focus::partition

@@ -1,6 +1,8 @@
 #include "partition/mlpart.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -13,6 +15,11 @@ using graph::GraphBuilder;
 using graph::GraphHierarchy;
 
 namespace {
+
+/// Below these, the pooled variants of the projection / lift loops cost more
+/// than they save (same rationale as coarsen's kParallelHemMinNodes).
+constexpr std::size_t kParallelProjectMinNodes = 512;
+constexpr std::size_t kParallelLiftMinNodes = 512;
 
 // Induced subgraph over `region`; local ids follow region order.
 Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& region,
@@ -48,11 +55,16 @@ std::vector<std::uint8_t> bisect_region(const Graph& g,
                                         const std::vector<NodeId>& region,
                                         const PartitionerConfig& config,
                                         std::uint64_t region_seed,
-                                        double* work) {
+                                        Weight region_weight, double* work,
+                                        ThreadPool* pool) {
   std::vector<std::uint8_t> side(region.size(), 0);
   if (region.size() < 2) return side;
 
   const Graph sub = induced_subgraph(g, region, work);
+  // The caller accounts node-weight totals once, at the split point; the
+  // induced subgraph copies node weights verbatim, so they must agree.
+  FOCUS_ASSERT(sub.total_node_weight() == region_weight,
+               "region weight drifted from induced subgraph");
 
   // Coarsen the region. Coarse-node weight is capped (Karypis & Kumar's
   // maxvwgt) so the coarsest graph always admits a balanced bisection even
@@ -60,7 +72,7 @@ std::vector<std::uint8_t> bisect_region(const Graph& g,
   graph::CoarsenConfig cc = config.coarsen;
   cc.seed = region_seed;
   cc.max_node_weight = std::max<Weight>(
-      1, 3 * sub.total_node_weight() /
+      1, 3 * region_weight /
              (2 * static_cast<Weight>(std::max<std::size_t>(cc.min_nodes, 1))));
   const GraphHierarchy mini = graph::build_multilevel(sub, cc);
   if (work != nullptr) {
@@ -73,16 +85,26 @@ std::vector<std::uint8_t> bisect_region(const Graph& g,
   Rng rng(mix_seed(region_seed, 0x600d, 0x5eed));
   std::vector<PartId> part =
       greedy_graph_growing(mini.coarsest(), rng, config.ggg, work);
-  kl_bisection_refine(mini.coarsest(), part, config.kl, work);
+  kl_bisection_refine(mini.coarsest(), part, config.kl, work, pool);
 
-  // Project and refine down to the region's finest level.
+  // Project and refine down to the region's finest level. Each fine node
+  // reads only its own parent's label, so the projection is a parallel
+  // scoring pass with disjoint writes.
   for (std::size_t l = mini.depth() - 1; l-- > 0;) {
+    const auto& parent = mini.parent[l];
     std::vector<PartId> fine(mini.levels[l].node_count());
-    for (NodeId v = 0; v < fine.size(); ++v) {
-      fine[v] = part[mini.parent[l][v]];
+    if (pool != nullptr && pool->thread_count() > 1 &&
+        fine.size() >= kParallelProjectMinNodes) {
+      pool->parallel_for(fine.size(), 2048, [&](std::size_t b, std::size_t e) {
+        for (std::size_t v = b; v < e; ++v) fine[v] = part[parent[v]];
+      });
+    } else {
+      for (NodeId v = 0; v < fine.size(); ++v) {
+        fine[v] = part[parent[v]];
+      }
     }
     part = std::move(fine);
-    kl_bisection_refine(mini.levels[l], part, config.kl, work);
+    kl_bisection_refine(mini.levels[l], part, config.kl, work, pool);
   }
 
   for (std::size_t i = 0; i < region.size(); ++i) {
@@ -93,32 +115,44 @@ std::vector<std::uint8_t> bisect_region(const Graph& g,
 
 std::vector<std::vector<PartId>> lift_partition(const GraphHierarchy& h,
                                                 const std::vector<PartId>& finest,
-                                                PartId parts) {
+                                                PartId parts, ThreadPool* pool) {
   const std::size_t depth = h.depth();
   std::vector<std::vector<PartId>> levels(depth);
   levels[0] = finest;
   for (std::size_t l = 1; l < depth; ++l) {
     const std::size_t n = h.levels[l].node_count();
-    // Majority node-weight vote of the children's parts.
+    // Majority node-weight vote of the children's parts. The tally scatters
+    // into per-parent buckets and stays serial; the winner selection reads
+    // one bucket and writes one slot per coarse node, so it parallelizes.
     std::vector<std::unordered_map<PartId, Weight>> votes(n);
     const Graph& fine = h.levels[l - 1];
     for (NodeId v = 0; v < fine.node_count(); ++v) {
       votes[h.parent[l - 1][v]][levels[l - 1][v]] += fine.node_weight(v);
     }
     levels[l].assign(n, kNoPart);
-    for (NodeId v = 0; v < n; ++v) {
-      FOCUS_ASSERT(!votes[v].empty(), "coarse node with no children");
-      PartId best = kNoPart;
-      Weight best_weight = -1;
-      for (PartId p = 0; p < parts; ++p) {
-        const auto it = votes[v].find(p);
-        if (it == votes[v].end()) continue;
-        if (it->second > best_weight) {
-          best = p;
-          best_weight = it->second;
+    const auto pick_winners = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        FOCUS_ASSERT(!votes[v].empty(), "coarse node with no children");
+        PartId best = kNoPart;
+        Weight best_weight = -1;
+        for (PartId p = 0; p < parts; ++p) {
+          const auto it = votes[v].find(p);
+          if (it == votes[v].end()) continue;
+          if (it->second > best_weight) {
+            best = p;
+            best_weight = it->second;
+          }
         }
+        levels[l][v] = best;
       }
-      levels[l][v] = best;
+    };
+    if (pool != nullptr && pool->thread_count() > 1 &&
+        n >= kParallelLiftMinNodes) {
+      pool->parallel_for(n, 512, [&](std::size_t b, std::size_t e) {
+        pick_winners(b, e);
+      });
+    } else {
+      pick_winners(0, n);
     }
   }
   return levels;
@@ -126,23 +160,29 @@ std::vector<std::vector<PartId>> lift_partition(const GraphHierarchy& h,
 
 namespace {
 
-// Shared logic: runs the recursive bisection steps. `run_step` executes all
-// regions of one step and returns their side vectors; used by both the
-// serial and the parallel driver so they produce identical partitions.
+// Wave-model recursive bisection, shared by the mpr driver: `run_step`
+// executes all regions of one step and returns their side vectors. The
+// serial/pooled driver walks the same tree recursively (bisect_subtree);
+// both orders visit identical regions with identical seeds — see the
+// equivalence argument there — so all drivers produce identical partitions.
 template <typename RunStep>
 std::vector<PartId> recursive_bisection(const Graph& g, PartId k,
                                         RunStep&& run_step) {
   std::vector<PartId> part(g.node_count(), 0);
   PartId current_parts = 1;
   while (current_parts < k) {
-    // Gather regions by current label.
+    // Gather regions by current label; total their node weights here — the
+    // split point — so bisect_region need not recompute them.
     std::vector<std::vector<NodeId>> regions(
         static_cast<std::size_t>(current_parts));
+    std::vector<Weight> region_weights(
+        static_cast<std::size_t>(current_parts), 0);
     for (NodeId v = 0; v < g.node_count(); ++v) {
       regions[static_cast<std::size_t>(part[v])].push_back(v);
+      region_weights[static_cast<std::size_t>(part[v])] += g.node_weight(v);
     }
     const std::vector<std::vector<std::uint8_t>> sides =
-        run_step(regions, current_parts);
+        run_step(regions, region_weights, current_parts);
     FOCUS_ASSERT(sides.size() == regions.size(), "bisection step size mismatch");
     for (std::size_t r = 0; r < regions.size(); ++r) {
       FOCUS_ASSERT(sides[r].size() == regions[r].size(),
@@ -164,38 +204,138 @@ void check_k(PartId k) {
               "partition count must be a power of two (recursive bisection)");
 }
 
+// Shared state of one recursion-tree walk (bisect_subtree).
+struct BisectTreeCtx {
+  const Graph* g;
+  const PartitionerConfig* config;
+  PartId k;
+  std::vector<PartId>* part;                    // final labels; disjoint writes
+  std::vector<std::vector<double>>* step_work;  // [step][label] work slots
+  ThreadPool* pool;                             // nullptr => serial
+};
+
+// Recursion-tree driver used by partition_hierarchy. Equivalence with the
+// wave model above, by induction over steps:
+//  * a node's wave label after step s equals the label its recursion-tree
+//    region carries at depth s (the root starts at label 0; a side-1 node
+//    gains `label + 2^s`, exactly the wave's relabeling `r + current_parts`
+//    with r == label);
+//  * the wave gathers region r by scanning nodes in ascending id, and the
+//    recursion's splits preserve ascending order from an ascending root, so
+//    region node lists are identical;
+//  * seeds are mix_seed(seed, step, label) on both sides.
+// Hence every bisect_region call sees identical inputs, and since sibling
+// subtrees touch disjoint node sets and disjoint work slots, the two halves
+// of each split can run concurrently (fork_join) without changing a byte.
+void bisect_subtree(const BisectTreeCtx& ctx, std::vector<NodeId>& region,
+                    Weight region_weight, std::size_t step, PartId label) {
+  if ((static_cast<PartId>(1) << step) >= ctx.k) {
+    for (const NodeId v : region) (*ctx.part)[v] = label;
+    return;
+  }
+  double* work = &(*ctx.step_work)[step][static_cast<std::size_t>(label)];
+  const std::vector<std::uint8_t> side = bisect_region(
+      *ctx.g, region, *ctx.config,
+      mix_seed(ctx.config->seed, step, static_cast<std::uint64_t>(label)),
+      region_weight, work, ctx.pool);
+
+  // Split, totalling the child weights here so the children inherit their
+  // node-weight accounting from the split point.
+  std::vector<NodeId> child0, child1;
+  child0.reserve(region.size());
+  child1.reserve(region.size() / 2 + 1);
+  Weight w0 = 0, w1 = 0;
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    const NodeId v = region[i];
+    if (side[i] != 0) {
+      child1.push_back(v);
+      w1 += ctx.g->node_weight(v);
+    } else {
+      child0.push_back(v);
+      w0 += ctx.g->node_weight(v);
+    }
+  }
+  FOCUS_ASSERT(w0 + w1 == region_weight, "split halves do not sum to region");
+  region.clear();
+  region.shrink_to_fit();  // drop the parent list before recursing
+
+  const PartId label1 =
+      static_cast<PartId>(label + (static_cast<PartId>(1) << step));
+  if (ctx.pool != nullptr && ctx.pool->thread_count() > 1) {
+    ctx.pool->fork_join(
+        [&] { bisect_subtree(ctx, child0, w0, step + 1, label); },
+        [&] { bisect_subtree(ctx, child1, w1, step + 1, label1); });
+  } else {
+    bisect_subtree(ctx, child0, w0, step + 1, label);
+    bisect_subtree(ctx, child1, w1, step + 1, label1);
+  }
+}
+
 }  // namespace
 
 HierarchyPartitioning partition_hierarchy(const GraphHierarchy& h, PartId k,
                                           const PartitionerConfig& config) {
   check_k(k);
   const Graph& finest = h.finest();
-  double work = 0.0;
 
-  std::uint64_t step_counter = 0;
-  const std::vector<PartId> part = recursive_bisection(
-      finest, k,
-      [&](const std::vector<std::vector<NodeId>>& regions, PartId) {
-        std::vector<std::vector<std::uint8_t>> sides(regions.size());
-        for (std::size_t r = 0; r < regions.size(); ++r) {
-          sides[r] = bisect_region(
-              finest, regions[r], config,
-              mix_seed(config.seed, step_counter, r), &work);
-        }
-        ++step_counter;
-        return sides;
-      });
+  std::size_t steps = 0;
+  while ((static_cast<PartId>(1) << steps) < k) ++steps;
+
+  const unsigned threads = resolve_thread_count(config.threads);
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    pool = &*pool_storage;
+  }
 
   HierarchyPartitioning result;
   result.parts = k;
-  result.levels = lift_partition(h, part, k);
+  result.step_work.resize(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    result.step_work[s].assign(static_cast<std::size_t>(1) << s, 0.0);
+  }
+
+  // Phase 1: recursive bisection over the recursion tree; sibling subtrees
+  // run concurrently on the pool.
+  std::vector<PartId> part(finest.node_count(), 0);
+  {
+    std::vector<NodeId> root(finest.node_count());
+    std::iota(root.begin(), root.end(), NodeId{0});
+    const BisectTreeCtx ctx{&finest, &config, k,
+                            &part,   &result.step_work, pool};
+    bisect_subtree(ctx, root, finest.total_node_weight(), 0, 0);
+  }
+
+  // Phase 2: lift to all hierarchy levels.
+  result.levels = lift_partition(h, part, k, pool);
+
+  // Phase 3: per-level global k-way refinement. Levels are independent
+  // (disjoint part vectors, disjoint work slots), so they run concurrently;
+  // each refinement also uses the pool internally for its scoring sweeps.
+  result.kway_work.assign(h.depth(), 0.0);
   if (config.kway_refinement) {
-    for (std::size_t l = 0; l < h.depth(); ++l) {
-      kway_kl_refine(h.levels[l], result.levels[l], k, config.kway, &work);
+    const auto refine_level = [&](std::size_t l) {
+      kway_kl_refine(h.levels[l], result.levels[l], k, config.kway,
+                     &result.kway_work[l], pool);
+    };
+    if (pool != nullptr && pool->thread_count() > 1 && h.depth() > 1) {
+      pool->parallel_for(h.depth(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t l = b; l < e; ++l) refine_level(l);
+      });
+    } else {
+      for (std::size_t l = 0; l < h.depth(); ++l) refine_level(l);
     }
   }
-  result.finest_cut = edge_cut(finest, result.levels[0]);
-  result.work = work;
+
+  result.finest_cut = edge_cut(finest, result.levels[0], pool);
+  // Fixed-order reduction of the work grid: identical at every pool width.
+  double total = 0.0;
+  for (const auto& step : result.step_work) {
+    for (const double w : step) total += w;
+  }
+  for (const double w : result.kway_work) total += w;
+  result.work = total;
   return result;
 }
 
@@ -216,10 +356,15 @@ ParallelPartitionResult partition_hierarchy_parallel(
         const Rank me = comm.rank();
 
         // --- Phase 1: recursive bisection, regions round-robin over ranks.
+        // Each rank's region bodies stay single-threaded (pool == nullptr):
+        // rank-level concurrency is the quantity under measurement here, and
+        // stacking a host pool under every virtual rank would oversubscribe
+        // the host (same policy as CoarsenConfig.threads for HEM).
         std::uint64_t step_counter = 0;
         std::vector<PartId> part = recursive_bisection(
             finest, k,
-            [&](const std::vector<std::vector<NodeId>>& regions, PartId) {
+            [&](const std::vector<std::vector<NodeId>>& regions,
+                const std::vector<Weight>& region_weights, PartId) {
               std::vector<std::vector<std::uint8_t>> sides(regions.size());
               // Compute my regions.
               for (std::size_t r = 0; r < regions.size(); ++r) {
@@ -229,7 +374,8 @@ ParallelPartitionResult partition_hierarchy_parallel(
                 double work = 0.0;
                 sides[r] = bisect_region(
                     finest, regions[r], config,
-                    mix_seed(config.seed, step_counter, r), &work);
+                    mix_seed(config.seed, step_counter, r), region_weights[r],
+                    &work, /*pool=*/nullptr);
                 comm.charge(work);
               }
               // Exchange: everyone needs all side vectors before the next

@@ -11,6 +11,15 @@
 // second source of parallelism, bounded by the number of levels. Hence the
 // paper's processor bound max(n_levels, 2^(log2 k − 1)).
 //
+// Two orthogonal parallel drivers exist:
+//  * partition_hierarchy_parallel — mpr virtual ranks; answers the paper's
+//    cluster-scaling question (Fig. 4) in deterministic virtual time.
+//  * partition_hierarchy with PartitionerConfig::threads > 1 — a shared
+//    ThreadPool; real host parallelism. The recursion tree is walked with
+//    fork_join (the two halves of every split run concurrently) and the
+//    per-level scoring loops inside KL/k-way/projection use parallel_for.
+//    Both drivers produce byte-identical partitions for every width.
+//
 // Feeding the *multilevel* hierarchy here reproduces the paper's naïve
 // baseline (full uncoarsening to G0); feeding the *hybrid* hierarchy
 // reproduces the biology-aware variant whose finest graph G'0 is far
@@ -19,6 +28,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "graph/coarsen.hpp"
 #include "mpr/runtime.hpp"
 #include "partition/ggg.hpp"
@@ -36,6 +46,11 @@ struct PartitionerConfig {
   std::uint64_t seed = 42;
   /// Run the per-level global k-way refinement stage.
   bool kway_refinement = true;
+  /// Host threads for the serial driver's ThreadPool (0 = auto: honor
+  /// FOCUS_THREADS, else hardware concurrency). The partition is
+  /// byte-identical for every value. The mpr driver ignores this and keeps
+  /// each virtual rank single-threaded, mirroring CoarsenConfig::threads.
+  unsigned threads = 0;
 };
 
 /// A partition for every level of a GraphHierarchy.
@@ -46,19 +61,31 @@ struct HierarchyPartitioning {
   Weight finest_cut = 0;
   /// Total sequential work units spent (sum over all tasks).
   double work = 0.0;
+  /// Work units per bisection task: step_work[s][r] is the work of bisecting
+  /// the region with label r in recursion step s (2^s regions per step).
+  /// Deterministic across thread widths; `work` is their fixed-order sum
+  /// plus `kway_work`. Feeds the benchmark's schedule model.
+  std::vector<std::vector<double>> step_work;
+  /// Work units of the global k-way refinement of each hierarchy level.
+  std::vector<double> kway_work;
 
   const std::vector<PartId>& finest() const { return levels.front(); }
 };
 
 /// Bisects the nodes in `region` (ids into `g`) via coarsen + GGG + KL with
-/// projection. Returns one side bit per region entry.
+/// projection. Returns one side bit per region entry. `region_weight` is the
+/// total node weight of the region, accounted once by the caller at the
+/// split point (asserted against the induced subgraph). With a pool, the
+/// KL scoring and projection loops run as parallel scoring passes.
 std::vector<std::uint8_t> bisect_region(const graph::Graph& g,
                                         const std::vector<NodeId>& region,
                                         const PartitionerConfig& config,
                                         std::uint64_t region_seed,
-                                        double* work);
+                                        Weight region_weight, double* work,
+                                        ThreadPool* pool = nullptr);
 
-/// Serial reference implementation.
+/// Serial reference implementation — and, with config.threads != 1, the
+/// pool-parallel host driver. Byte-identical output at every thread width.
 HierarchyPartitioning partition_hierarchy(const graph::GraphHierarchy& h,
                                           PartId k,
                                           const PartitionerConfig& config);
@@ -76,9 +103,11 @@ ParallelPartitionResult partition_hierarchy_parallel(
     int nranks, mpr::CostModel cost = {});
 
 /// Lifts a finest-level partition to every hierarchy level by majority
-/// (node-weight) vote within each cluster.
+/// (node-weight) vote within each cluster. With a pool, the per-level winner
+/// selection runs as a parallel loop (vote tallying stays serial: it
+/// scatters into per-parent buckets).
 std::vector<std::vector<PartId>> lift_partition(
     const graph::GraphHierarchy& h, const std::vector<PartId>& finest,
-    PartId parts);
+    PartId parts, ThreadPool* pool = nullptr);
 
 }  // namespace focus::partition

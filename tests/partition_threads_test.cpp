@@ -1,0 +1,249 @@
+// Determinism of the pool-parallel partitioner (and its fork_join primitive):
+// partition_hierarchy must produce byte-identical output — part vectors at
+// every hierarchy level, the edge cut, and the work accounting — at every
+// thread width. The serial width-1 run is the reference; widths 2/4/8
+// exercise the fork_join recursion walk and the pooled scoring loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dist/parallel.hpp"
+#include "graph/coarsen.hpp"
+#include "partition/mlpart.hpp"
+#include "partition/partition.hpp"
+
+namespace focus::partition {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+Graph random_graph(std::uint64_t seed, std::size_t n, std::size_t extra) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.add_edge(v, static_cast<NodeId>(rng.next_below(v)),
+               1 + static_cast<Weight>(rng.next_below(50)));
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u != v) b.add_edge(u, v, 1 + static_cast<Weight>(rng.next_below(50)));
+  }
+  return b.build();
+}
+
+graph::GraphHierarchy hierarchy_of(const Graph& g) {
+  graph::CoarsenConfig cfg;
+  cfg.min_nodes = 8;
+  cfg.max_levels = 6;
+  return graph::build_multilevel(g, cfg);
+}
+
+// Bitwise equality for the work doubles: "byte-identical" is the contract,
+// not "approximately equal".
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// fork_join primitive
+// ---------------------------------------------------------------------------
+
+TEST(ForkJoin, RunsBothSidesAtEveryWidth) {
+  for (const unsigned width : {1u, 2u, 4u}) {
+    SCOPED_TRACE(width);
+    ThreadPool pool(width);
+    std::atomic<int> left{0}, right{0};
+    pool.fork_join([&] { left.fetch_add(1); }, [&] { right.fetch_add(1); });
+    EXPECT_EQ(left.load(), 1);
+    EXPECT_EQ(right.load(), 1);
+  }
+}
+
+TEST(ForkJoin, NestedRecursionFromWorkersDoesNotDeadlock) {
+  // Recursive range sum: every interior call fork_joins from whatever thread
+  // is running it, like the partitioner's recursion-tree walk.
+  for (const unsigned width : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(width);
+    ThreadPool pool(width);
+    std::function<std::uint64_t(std::uint64_t, std::uint64_t)> range_sum =
+        [&](std::uint64_t lo, std::uint64_t hi) -> std::uint64_t {
+      if (hi - lo <= 16) {
+        std::uint64_t s = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) s += i;
+        return s;
+      }
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      std::uint64_t a = 0, b = 0;
+      pool.fork_join([&] { a = range_sum(lo, mid); },
+                     [&] { b = range_sum(mid, hi); });
+      return a + b;
+    };
+    EXPECT_EQ(range_sum(0, 4096), 4096ull * 4095ull / 2);
+  }
+}
+
+TEST(ForkJoin, PropagatesExceptionsFromEitherSide) {
+  for (const unsigned width : {1u, 4u}) {
+    SCOPED_TRACE(width);
+    ThreadPool pool(width);
+    EXPECT_THROW(
+        pool.fork_join([] { throw std::runtime_error("left"); }, [] {}),
+        std::runtime_error);
+    EXPECT_THROW(
+        pool.fork_join([] {}, [] { throw std::runtime_error("right"); }),
+        std::runtime_error);
+    // The pool survives for further use.
+    std::atomic<int> ok{0};
+    pool.fork_join([&] { ok.fetch_add(1); }, [&] { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner determinism across thread widths
+// ---------------------------------------------------------------------------
+
+PartitionerConfig config_with_threads(unsigned threads) {
+  PartitionerConfig cfg;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(PartitionThreads, ByteIdenticalAcrossWidths) {
+  // Big enough that the pooled inner loops (>= 512-node gates) engage, not
+  // just the fork_join recursion.
+  const Graph g = random_graph(91, 1200, 2600);
+  const auto h = hierarchy_of(g);
+  const PartId k = 8;
+
+  const auto reference = partition_hierarchy(h, k, config_with_threads(1));
+  ASSERT_EQ(reference.levels.size(), h.depth());
+
+  for (const unsigned width : {2u, 4u, 8u}) {
+    SCOPED_TRACE(width);
+    const auto run = partition_hierarchy(h, k, config_with_threads(width));
+    EXPECT_EQ(run.levels, reference.levels);
+    EXPECT_EQ(run.finest_cut, reference.finest_cut);
+    EXPECT_TRUE(same_bits(run.work, reference.work));
+    ASSERT_EQ(run.step_work.size(), reference.step_work.size());
+    for (std::size_t s = 0; s < run.step_work.size(); ++s) {
+      ASSERT_EQ(run.step_work[s].size(), reference.step_work[s].size());
+      for (std::size_t r = 0; r < run.step_work[s].size(); ++r) {
+        EXPECT_TRUE(same_bits(run.step_work[s][r], reference.step_work[s][r]))
+            << "step " << s << " region " << r;
+      }
+    }
+    ASSERT_EQ(run.kway_work.size(), reference.kway_work.size());
+    for (std::size_t l = 0; l < run.kway_work.size(); ++l) {
+      EXPECT_TRUE(same_bits(run.kway_work[l], reference.kway_work[l]))
+          << "level " << l;
+    }
+  }
+}
+
+TEST(PartitionThreads, PooledDriverMatchesMprDriver) {
+  // The pooled recursion-tree walk and the mpr wave driver must agree — they
+  // are two schedules of the same bisection tree.
+  const Graph g = random_graph(92, 300, 700);
+  const auto h = hierarchy_of(g);
+  const auto pooled = partition_hierarchy(h, 8, config_with_threads(4));
+  const auto mpr = partition_hierarchy_parallel(h, 8, config_with_threads(4), 3);
+  ASSERT_EQ(mpr.partitioning.levels.size(), pooled.levels.size());
+  for (std::size_t l = 0; l < pooled.levels.size(); ++l) {
+    EXPECT_EQ(mpr.partitioning.levels[l], pooled.levels[l]) << "level " << l;
+  }
+  EXPECT_EQ(mpr.partitioning.finest_cut, pooled.finest_cut);
+}
+
+TEST(PartitionThreadsStress, FiftyRandomTrialsIdenticalAndBalanced) {
+  Rng master(0xf0c05);
+  double balance_sum = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    SCOPED_TRACE(trial);
+    const std::size_t n = 64 + master.next_below(400);
+    const std::size_t extra = n + master.next_below(2 * n);
+    const auto k = static_cast<PartId>(2 << master.next_below(3));  // 2/4/8
+    const Graph g = random_graph(master.next_u64(), n, extra);
+    const auto h = hierarchy_of(g);
+
+    PartitionerConfig cfg = config_with_threads(1);
+    cfg.seed = master.next_u64();
+    const auto reference = partition_hierarchy(h, k, cfg);
+
+    PartitionerConfig pooled_cfg = cfg;
+    pooled_cfg.threads = 1 + static_cast<unsigned>(master.next_below(8));
+    const auto run = partition_hierarchy(h, k, pooled_cfg);
+    EXPECT_EQ(run.levels, reference.levels)
+        << "n=" << n << " k=" << k << " threads=" << pooled_cfg.threads;
+    EXPECT_EQ(run.finest_cut, reference.finest_cut);
+    EXPECT_TRUE(same_bits(run.work, reference.work));
+
+    // Balance: 1.03 is the partitioner's *per-decision* rejection bound (GGG
+    // side alternation, k-way move admission), not a global guarantee — on
+    // these adversarial random graphs (random heavy edge weights, no planted
+    // structure) log2(k) compounding bisections drift further. Measured over
+    // this fixed seed set: max 1.43, mean 1.10 (cf. partition_test's
+    // BalanceIsReasonable < 1.6 on the same family). Assert that envelope;
+    // BalanceBoundHoldsOnUniformBlobs below asserts the 1.03 bound itself on
+    // a well-conditioned workload.
+    const double balance = node_balance(g, run.levels[0], k);
+    balance_sum += balance;
+    EXPECT_LT(balance, 1.5) << "n=" << n << " k=" << k;
+  }
+  EXPECT_LT(balance_sum / 50.0, 1.15);
+}
+
+TEST(PartitionThreads, BalanceBoundHoldsOnUniformBlobs) {
+  // Four equal-size cliques joined by light bridges: the partitioner should
+  // recover them, and on this well-conditioned input the finest partition
+  // meets the 1.03 imbalance bound the growing/refinement stages target.
+  constexpr std::size_t kBlob = 24;
+  GraphBuilder b(4 * kBlob);
+  for (std::size_t blob = 0; blob < 4; ++blob) {
+    const auto base = static_cast<NodeId>(blob * kBlob);
+    for (NodeId i = 0; i < kBlob; ++i) {
+      for (NodeId j = i + 1; j < kBlob; ++j) {
+        b.add_edge(base + i, base + j, 20);
+      }
+    }
+  }
+  for (std::size_t blob = 0; blob + 1 < 4; ++blob) {
+    b.add_edge(static_cast<NodeId>(blob * kBlob),
+               static_cast<NodeId>((blob + 1) * kBlob), 1);
+  }
+  const Graph g = b.build();
+  const auto h = hierarchy_of(g);
+  for (const unsigned width : {1u, 4u}) {
+    SCOPED_TRACE(width);
+    const auto run = partition_hierarchy(h, 4, config_with_threads(width));
+    EXPECT_LE(node_balance(g, run.levels[0], 4), 1.03);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dist-layer partition gather
+// ---------------------------------------------------------------------------
+
+TEST(PartitionNodeLists, IdenticalAcrossWidths) {
+  Rng rng(777);
+  const PartId nparts = 14;
+  std::vector<PartId> part(10'000);
+  for (auto& p : part) p = static_cast<PartId>(rng.next_below(nparts));
+  const auto reference = dist::partition_node_lists(part, nparts, 1);
+  for (const unsigned width : {2u, 4u, 8u}) {
+    SCOPED_TRACE(width);
+    EXPECT_EQ(dist::partition_node_lists(part, nparts, width), reference);
+  }
+}
+
+}  // namespace
+}  // namespace focus::partition

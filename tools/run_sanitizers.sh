@@ -2,7 +2,9 @@
 # Runs the tier-1 ctest suite under ThreadSanitizer and combined
 # AddressSanitizer+UndefinedBehaviorSanitizer — so the seed-backend
 # equivalence suite (hashed k-mer index vs suffix-array oracle, packed-read
-# bit manipulation, two-pass NW scratch reuse) is exercised under both
+# bit manipulation, two-pass NW scratch reuse) and the partitioner
+# determinism suite (fork_join recursion, pooled KL/k-way scoring,
+# byte-identical partitions across thread widths) are exercised under both
 # memory/UB and data-race checking.
 #
 #   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]

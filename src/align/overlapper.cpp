@@ -478,6 +478,7 @@ ParallelOverlapResult find_overlaps_parallel(const io::ReadSet& reads,
           std::vector<Overlap> all;
           for (auto& msg : gathered) {
             auto part = msg.unpack_vector<Overlap>();
+            FOCUS_CHECK(msg.fully_consumed(), "trailing bytes in gathered frame");
             all.insert(all.end(), part.begin(), part.end());
           }
           comm.charge(static_cast<double>(all.size()) *

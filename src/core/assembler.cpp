@@ -136,8 +136,10 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
   {
     auto simplified = dist::simplify_parallel(
         built.graph, node_part, config_.partitions, config_.simplify,
-        config_.ranks, config_.cost, config_.partitioner.threads);
+        config_.ranks, config_.cost, config_.partitioner.threads,
+        config_.fault_plan, config_.fault);
     result.simplify_stats = simplified.stats;
+    result.simplify_run = simplified.run;
     StageTiming t;
     t.wall = wall.seconds();
     t.vtime = simplified.run.makespan;
@@ -149,8 +151,10 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
   {
     auto traversed = dist::traverse_parallel(
         built.graph, node_part, config_.partitions, config_.ranks,
-        config_.cost, config_.partitioner.threads);
+        config_.cost, config_.partitioner.threads, config_.fault_plan,
+        config_.fault);
     result.paths = std::move(traversed.paths);
+    result.traverse_run = traversed.run;
     std::vector<std::string> contigs;
     contigs.reserve(result.paths.size());
     for (const auto& path : result.paths) {

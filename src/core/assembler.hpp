@@ -40,6 +40,11 @@ struct FocusConfig {
   bool use_hybrid_partitioning = true;
   /// Collapse reverse-complement contig twins and drop short contigs.
   std::size_t min_contig_length = 100;
+  /// Fault schedule for the distributed stages (6 and 7). Defaults to the
+  /// FOCUS_FAULT_SEED environment plan; empty means the fault-free fast path.
+  mpr::FaultPlan fault_plan = mpr::FaultPlan::from_env();
+  /// Retry bound and receive deadline for fault recovery.
+  mpr::FaultConfig fault;
 };
 
 /// Virtual + wall time of one pipeline stage.
@@ -60,6 +65,10 @@ struct AssemblyResult {
   /// The simplified assembly graph (post §V cleaning) — exportable as GFA.
   dist::AsmGraph assembly_graph;
   dist::SimplifyStats simplify_stats;
+  /// Full runtime stats of the distributed stages, including fault-recovery
+  /// counters (retries, ranks_failed, recovery_vtime).
+  mpr::RunStats simplify_run;
+  mpr::RunStats traverse_run;
   std::vector<std::vector<NodeId>> paths;    // maximal assembly paths
   std::vector<std::string> contigs;          // deduped final contigs
   AssemblyStats stats;

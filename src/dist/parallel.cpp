@@ -1,6 +1,8 @@
 #include "dist/parallel.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -55,16 +57,349 @@ std::vector<std::vector<NodeId>> partition_node_lists(
   return nodes;
 }
 
+// ---------------------------------------------------------------------------
+// Fault-tolerant master/worker protocol (DESIGN.md §7).
+//
+// Commands and record frames flow over two user tags. Every scan command
+// carries a monotone sequence number (workers discard duplicated commands
+// without re-scanning, which keeps them from touching the graph while the
+// master applies) and every record frame carries its (phase, round) so the
+// master can discard stale frames left over from failed rounds.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kTagCmd = 100;
+constexpr int kTagRec = 101;
+constexpr std::uint32_t kCmdScan = 1;
+constexpr std::uint32_t kCmdDone = 2;
+
+/// Partition assignment for one round: every partition goes to its original
+/// owner (id mod nranks) when that rank is live; partitions orphaned by dead
+/// ranks are redistributed round-robin over the live ranks (master included),
+/// in ascending rank order — a pure function of the live set, so replays are
+/// deterministic.
+std::vector<std::vector<std::uint32_t>> ft_assign(
+    PartId nparts, const std::vector<std::uint8_t>& live, int size) {
+  std::vector<std::vector<std::uint32_t>> parts_for_rank(
+      static_cast<std::size_t>(size));
+  std::vector<int> live_ranks{0};
+  for (int r = 1; r < size; ++r) {
+    if (live[static_cast<std::size_t>(r)]) live_ranks.push_back(r);
+  }
+  std::vector<std::uint32_t> orphans;
+  for (PartId p = 0; p < nparts; ++p) {
+    const int owner = static_cast<int>(p % size);
+    if (owner == 0 || live[static_cast<std::size_t>(owner)]) {
+      parts_for_rank[static_cast<std::size_t>(owner)].push_back(
+          static_cast<std::uint32_t>(p));
+    } else {
+      orphans.push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  for (std::size_t i = 0; i < orphans.size(); ++i) {
+    parts_for_rank[static_cast<std::size_t>(live_ranks[i % live_ranks.size()])]
+        .push_back(orphans[i]);
+  }
+  return parts_for_rank;
+}
+
+struct FtMasterState {
+  std::vector<std::uint8_t> live;  // live[0] is the master itself
+  std::uint64_t cmd_seq = 0;
+};
+
+/// One worker-record / master-collect phase under the fault-tolerant
+/// protocol. Returns the per-partition records in the canonical fast-path
+/// order — partitions sorted by (original owner, id) — so downstream applies
+/// see the exact record sequence of a fault-free gather, regardless of which
+/// surviving rank actually scanned each partition. Replays the whole phase on
+/// a worker timeout (marking it dead) or a corrupt frame (worker stays live),
+/// up to FaultConfig::max_retries replays.
+template <typename Rec>
+std::vector<Rec> ft_collect_phase(
+    mpr::Comm& comm, FtMasterState& st, PartId nparts, std::uint32_t phase,
+    const mpr::FaultConfig& fault,
+    const std::function<Rec(std::uint32_t, double*)>& scan_one,
+    const std::function<Rec(mpr::Message&)>& unpack_one) {
+  const int size = comm.size();
+  for (std::uint32_t round = 0;; ++round) {
+    FOCUS_CHECK(static_cast<int>(round) <= fault.max_retries,
+                "fault recovery exhausted max_retries replays of a phase");
+    const auto assign = ft_assign(nparts, st.live, size);
+    for (int r = 1; r < size; ++r) {
+      if (!st.live[static_cast<std::size_t>(r)]) continue;
+      mpr::Message cmd;
+      cmd.pack(kCmdScan);
+      cmd.pack(++st.cmd_seq);
+      cmd.pack(phase);
+      cmd.pack(round);
+      cmd.pack_vector(assign[static_cast<std::size_t>(r)]);
+      comm.send(r, kTagCmd, std::move(cmd));
+    }
+
+    std::vector<std::optional<Rec>> by_part(static_cast<std::size_t>(nparts));
+    double work = 0.0;
+    for (const std::uint32_t p : assign[0]) {
+      by_part[p] = scan_one(p, &work);
+    }
+    comm.charge(work);
+
+    bool failed = false;
+    for (int r = 1; r < size && !failed; ++r) {
+      if (!st.live[static_cast<std::size_t>(r)]) continue;
+      for (;;) {
+        auto res = comm.try_recv(r, kTagRec, fault.recv_timeout_vtime);
+        if (res.status == mpr::RecvStatus::kTimeout) {
+          st.live[static_cast<std::size_t>(r)] = 0;
+          failed = true;
+          break;
+        }
+        if (res.status == mpr::RecvStatus::kCorrupt) {
+          failed = true;  // frame lost in transit; the worker itself is fine
+          break;
+        }
+        const auto fphase = res.msg.unpack<std::uint32_t>();
+        const auto fround = res.msg.unpack<std::uint32_t>();
+        const auto count = res.msg.unpack<std::uint32_t>();
+        if (fphase != phase || fround != round) continue;  // stale frame
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const auto p = res.msg.unpack<std::uint32_t>();
+          FOCUS_CHECK(p < static_cast<std::uint32_t>(nparts),
+                      "record frame names an invalid partition");
+          by_part[p] = unpack_one(res.msg);
+        }
+        FOCUS_CHECK(res.msg.fully_consumed(),
+                    "trailing bytes in record frame");
+        break;
+      }
+    }
+    if (failed) {
+      comm.note_retry();
+      comm.charge_recovery(fault.recv_timeout_vtime *
+                           static_cast<double>(round + 1));
+      continue;
+    }
+
+    std::vector<Rec> out;
+    out.reserve(static_cast<std::size_t>(nparts));
+    for (int r = 0; r < size; ++r) {
+      for (PartId p = r; p < nparts; p += size) {
+        auto& slot = by_part[static_cast<std::size_t>(p)];
+        FOCUS_CHECK(slot.has_value(), "partition missing from phase records");
+        out.push_back(std::move(*slot));
+      }
+    }
+    return out;
+  }
+}
+
+/// Worker loop shared by both drivers: execute scan commands until told to
+/// stop. `scan_and_pack(phase, partition, frame, work)` runs one partition's
+/// read-only scan and appends its records to the frame.
+void ft_worker_loop(
+    mpr::Comm& comm,
+    const std::function<void(std::uint32_t, std::uint32_t, mpr::Message&,
+                             double*)>& scan_and_pack) {
+  std::uint64_t last_seq = 0;
+  for (;;) {
+    mpr::Message cmd;
+    try {
+      cmd = comm.recv(0, kTagCmd);
+    } catch (const mpr::CorruptMessage& e) {
+      // A command this worker cannot decode means it cannot follow the
+      // protocol any more: fail the rank and let the master reassign.
+      throw mpr::RankFailed(e.what());
+    }
+    const auto kind = cmd.unpack<std::uint32_t>();
+    if (kind == kCmdDone) {
+      FOCUS_CHECK(cmd.fully_consumed(), "trailing bytes in done command");
+      return;
+    }
+    FOCUS_CHECK(kind == kCmdScan, "unknown command kind");
+    const auto seq = cmd.unpack<std::uint64_t>();
+    const auto phase = cmd.unpack<std::uint32_t>();
+    const auto round = cmd.unpack<std::uint32_t>();
+    const auto parts = cmd.unpack_vector<std::uint32_t>();
+    FOCUS_CHECK(cmd.fully_consumed(), "trailing bytes in scan command");
+    if (seq <= last_seq) continue;  // duplicated command; already executed
+    last_seq = seq;
+
+    mpr::Message frame;
+    frame.pack(phase);
+    frame.pack(round);
+    frame.pack(static_cast<std::uint32_t>(parts.size()));
+    double work = 0.0;
+    for (const std::uint32_t p : parts) {
+      frame.pack(p);
+      scan_and_pack(phase, p, frame, &work);
+    }
+    comm.charge(work);
+    comm.send(0, kTagRec, std::move(frame));
+  }
+}
+
+void ft_shutdown_workers(mpr::Comm& comm, const FtMasterState& st) {
+  for (int r = 1; r < comm.size(); ++r) {
+    if (!st.live[static_cast<std::size_t>(r)]) continue;
+    mpr::Message done;
+    done.pack(kCmdDone);
+    comm.send(r, kTagCmd, std::move(done));
+  }
+}
+
+void ft_simplify_master(mpr::Comm& comm, AsmGraph& g,
+                        const std::vector<std::vector<NodeId>>& nodes,
+                        const SimplifyConfig& config, PartId nparts,
+                        const mpr::FaultConfig& fault, SimplifyStats* stats) {
+  FtMasterState st;
+  st.live.assign(static_cast<std::size_t>(comm.size()), 1);
+  // Checkpoint between phases: the applied graph plus the stats so far.
+  // Applies happen strictly after a round's records are complete, so a
+  // replay restarts the current phase against exactly this state — no
+  // partial mutation can leak into a retry.
+  struct Checkpoint {
+    std::uint32_t phases_done = 0;
+    SimplifyStats stats;
+  } ckpt;
+
+  {  // Phase 0: transitive reduction (§V-A).
+    auto recs = ft_collect_phase<std::vector<EdgeId>>(
+        comm, st, nparts, ckpt.phases_done, fault,
+        [&](std::uint32_t p, double* work) {
+          return find_transitive_edges(g, nodes[p], work);
+        },
+        [](mpr::Message& m) { return m.unpack_vector<EdgeId>(); });
+    std::vector<EdgeId> all;
+    for (auto& r : recs) all.insert(all.end(), r.begin(), r.end());
+    comm.charge(static_cast<double>(all.size()));
+    ckpt.stats.transitive_edges = apply_edge_removals(g, std::move(all));
+    ckpt.phases_done = 1;
+  }
+
+  {  // Phase 1: containment removal + edge verification (§V-B).
+    auto recs = ft_collect_phase<ContainmentFindings>(
+        comm, st, nparts, ckpt.phases_done, fault,
+        [&](std::uint32_t p, double* work) {
+          return find_containments(g, nodes[p], config, work);
+        },
+        [](mpr::Message& m) {
+          ContainmentFindings f;
+          f.verified = m.unpack_vector<EdgeVerification>();
+          f.false_edges = m.unpack_vector<EdgeId>();
+          f.contained_nodes = m.unpack_vector<NodeId>();
+          return f;
+        });
+    ContainmentFindings all;
+    for (auto& r : recs) {
+      all.verified.insert(all.verified.end(), r.verified.begin(),
+                          r.verified.end());
+      all.false_edges.insert(all.false_edges.end(), r.false_edges.begin(),
+                             r.false_edges.end());
+      all.contained_nodes.insert(all.contained_nodes.end(),
+                                 r.contained_nodes.begin(),
+                                 r.contained_nodes.end());
+    }
+    comm.charge(static_cast<double>(all.verified.size() +
+                                    all.false_edges.size() +
+                                    all.contained_nodes.size()));
+    ckpt.stats.verified_edges = apply_verifications(g, all.verified);
+    ckpt.stats.false_edges =
+        apply_edge_removals(g, std::move(all.false_edges));
+    ckpt.stats.contained_nodes =
+        apply_node_removals(g, std::move(all.contained_nodes));
+    ckpt.phases_done = 2;
+  }
+
+  {  // Phase 2: dead-end trimming (§V-C).
+    auto recs = ft_collect_phase<std::vector<NodeId>>(
+        comm, st, nparts, ckpt.phases_done, fault,
+        [&](std::uint32_t p, double* work) {
+          return find_tips(g, nodes[p], config, work);
+        },
+        [](mpr::Message& m) { return m.unpack_vector<NodeId>(); });
+    std::vector<NodeId> all;
+    for (auto& r : recs) all.insert(all.end(), r.begin(), r.end());
+    comm.charge(static_cast<double>(all.size()));
+    ckpt.stats.tip_nodes = apply_node_removals(g, std::move(all));
+    ckpt.phases_done = 3;
+  }
+
+  {  // Phase 3: bubble popping (§V-C).
+    auto recs = ft_collect_phase<std::vector<NodeId>>(
+        comm, st, nparts, ckpt.phases_done, fault,
+        [&](std::uint32_t p, double* work) {
+          return find_bubbles(g, nodes[p], config, work);
+        },
+        [](mpr::Message& m) { return m.unpack_vector<NodeId>(); });
+    std::vector<NodeId> all;
+    for (auto& r : recs) all.insert(all.end(), r.begin(), r.end());
+    comm.charge(static_cast<double>(all.size()));
+    ckpt.stats.bubble_nodes = apply_node_removals(g, std::move(all));
+    ckpt.phases_done = 4;
+  }
+
+  ft_shutdown_workers(comm, st);
+  *stats = ckpt.stats;
+}
+
+void ft_simplify_worker(mpr::Comm& comm, const AsmGraph& g,
+                        const std::vector<std::vector<NodeId>>& nodes,
+                        const SimplifyConfig& config) {
+  ft_worker_loop(comm, [&](std::uint32_t phase, std::uint32_t p,
+                           mpr::Message& frame, double* work) {
+    switch (phase) {
+      case 0:
+        frame.pack_vector(find_transitive_edges(g, nodes[p], work));
+        break;
+      case 1: {
+        const auto f = find_containments(g, nodes[p], config, work);
+        frame.pack_vector(f.verified);
+        frame.pack_vector(f.false_edges);
+        frame.pack_vector(f.contained_nodes);
+        break;
+      }
+      case 2:
+        frame.pack_vector(find_tips(g, nodes[p], config, work));
+        break;
+      case 3:
+        frame.pack_vector(find_bubbles(g, nodes[p], config, work));
+        break;
+      default:
+        FOCUS_THROW("unknown simplify phase in scan command");
+    }
+  });
+}
+
+}  // namespace
+
 ParallelSimplifyResult simplify_parallel(AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts,
                                          const SimplifyConfig& config,
                                          int nranks, mpr::CostModel cost,
-                                         unsigned threads) {
+                                         unsigned threads,
+                                         const mpr::FaultPlan& fault_plan,
+                                         const mpr::FaultConfig& fault) {
   FOCUS_CHECK(part.size() == g.node_count(), "partition size mismatch");
   const auto nodes = partition_node_lists(part, nparts, threads);
 
   ParallelSimplifyResult out;
+  if (!fault_plan.empty()) {
+    out.run = mpr::Runtime::execute(
+        nranks,
+        [&](mpr::Comm& comm) {
+          if (comm.rank() == 0) {
+            ft_simplify_master(comm, g, nodes, config, nparts, fault,
+                               &out.stats);
+          } else {
+            ft_simplify_worker(comm, g, nodes, config);
+          }
+        },
+        cost, fault_plan);
+    return out;
+  }
+
   out.run = mpr::Runtime::execute(
       nranks,
       [&](mpr::Comm& comm) {
@@ -85,6 +420,7 @@ ParallelSimplifyResult simplify_parallel(AsmGraph& g,
             std::vector<EdgeId> all;
             for (auto& m : gathered) {
               auto v = m.unpack_vector<EdgeId>();
+              FOCUS_CHECK(m.fully_consumed(), "trailing bytes in phase frame");
               all.insert(all.end(), v.begin(), v.end());
             }
             comm.charge(static_cast<double>(all.size()));
@@ -122,6 +458,7 @@ ParallelSimplifyResult simplify_parallel(AsmGraph& g,
               auto verified = m.unpack_vector<EdgeVerification>();
               auto false_edges = m.unpack_vector<EdgeId>();
               auto contained = m.unpack_vector<NodeId>();
+              FOCUS_CHECK(m.fully_consumed(), "trailing bytes in phase frame");
               all.verified.insert(all.verified.end(), verified.begin(),
                                   verified.end());
               all.false_edges.insert(all.false_edges.end(),
@@ -158,6 +495,7 @@ ParallelSimplifyResult simplify_parallel(AsmGraph& g,
             std::vector<NodeId> all;
             for (auto& m : gathered) {
               auto v = m.unpack_vector<NodeId>();
+              FOCUS_CHECK(m.fully_consumed(), "trailing bytes in phase frame");
               all.insert(all.end(), v.begin(), v.end());
             }
             comm.charge(static_cast<double>(all.size()));
@@ -183,6 +521,7 @@ ParallelSimplifyResult simplify_parallel(AsmGraph& g,
             std::vector<NodeId> all;
             for (auto& m : gathered) {
               auto v = m.unpack_vector<NodeId>();
+              FOCUS_CHECK(m.fully_consumed(), "trailing bytes in phase frame");
               all.insert(all.end(), v.begin(), v.end());
             }
             comm.charge(static_cast<double>(all.size()));
@@ -195,15 +534,81 @@ ParallelSimplifyResult simplify_parallel(AsmGraph& g,
   return out;
 }
 
+namespace {
+
+using Subpaths = std::vector<std::vector<NodeId>>;
+
+void ft_traverse_master(mpr::Comm& comm, const AsmGraph& g,
+                        const std::vector<std::vector<NodeId>>& nodes,
+                        std::span<const PartId> part, PartId nparts,
+                        const mpr::FaultConfig& fault, Subpaths* paths) {
+  FtMasterState st;
+  st.live.assign(static_cast<std::size_t>(comm.size()), 1);
+  auto recs = ft_collect_phase<Subpaths>(
+      comm, st, nparts, 0, fault,
+      [&](std::uint32_t p, double* work) {
+        // Partitions are disjoint and sub-paths never cross a partition
+        // boundary, so a fresh visited set per partition extracts the same
+        // sub-paths as the fast path's shared per-rank set.
+        std::vector<bool> visited(g.node_count(), false);
+        return extract_subpaths(g, nodes[p], part, visited, work);
+      },
+      [](mpr::Message& m) {
+        Subpaths s(m.unpack<std::uint32_t>());
+        for (auto& path : s) path = m.unpack_vector<NodeId>();
+        return s;
+      });
+  Subpaths all;
+  for (auto& r : recs) {
+    for (auto& path : r) all.push_back(std::move(path));
+  }
+  double join_work = 0.0;
+  *paths = join_subpaths(g, std::move(all), &join_work);
+  comm.charge(join_work);
+  ft_shutdown_workers(comm, st);
+}
+
+void ft_traverse_worker(mpr::Comm& comm, const AsmGraph& g,
+                        const std::vector<std::vector<NodeId>>& nodes,
+                        std::span<const PartId> part) {
+  ft_worker_loop(comm, [&](std::uint32_t phase, std::uint32_t p,
+                           mpr::Message& frame, double* work) {
+    FOCUS_CHECK(phase == 0, "unknown traverse phase in scan command");
+    std::vector<bool> visited(g.node_count(), false);
+    const auto found = extract_subpaths(g, nodes[p], part, visited, work);
+    frame.pack(static_cast<std::uint32_t>(found.size()));
+    for (const auto& path : found) frame.pack_vector(path);
+  });
+}
+
+}  // namespace
+
 ParallelTraverseResult traverse_parallel(const AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts, int nranks,
                                          mpr::CostModel cost,
-                                         unsigned threads) {
+                                         unsigned threads,
+                                         const mpr::FaultPlan& fault_plan,
+                                         const mpr::FaultConfig& fault) {
   FOCUS_CHECK(part.size() == g.node_count(), "partition size mismatch");
   const auto nodes = partition_node_lists(part, nparts, threads);
 
   ParallelTraverseResult out;
+  if (!fault_plan.empty()) {
+    out.run = mpr::Runtime::execute(
+        nranks,
+        [&](mpr::Comm& comm) {
+          if (comm.rank() == 0) {
+            ft_traverse_master(comm, g, nodes, part, nparts, fault,
+                               &out.paths);
+          } else {
+            ft_traverse_worker(comm, g, nodes, part);
+          }
+        },
+        cost, fault_plan);
+    return out;
+  }
+
   out.run = mpr::Runtime::execute(
       nranks,
       [&](mpr::Comm& comm) {
@@ -228,6 +633,7 @@ ParallelTraverseResult traverse_parallel(const AsmGraph& g,
             for (std::uint32_t i = 0; i < count; ++i) {
               all.push_back(m.unpack_vector<NodeId>());
             }
+            FOCUS_CHECK(m.fully_consumed(), "trailing bytes in phase frame");
           }
           double join_work = 0.0;
           out.paths = join_subpaths(g, std::move(all), &join_work);

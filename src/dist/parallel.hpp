@@ -4,6 +4,17 @@
 // rank (round-robin when there are more partitions than ranks). Workers scan
 // only their partitions and ship recorded changes to the master (rank 0),
 // which applies them between phases — the paper's master/worker protocol.
+//
+// Fault tolerance (DESIGN.md §7): when a non-empty FaultPlan is supplied the
+// drivers switch to an explicitly commanded protocol. The master sends each
+// live worker a scan command naming its partitions, collects one record frame
+// per worker with a timed receive, and on a worker timeout reassigns the dead
+// worker's partitions to the survivors and replays the phase (bounded by
+// FaultConfig::max_retries). Records are absorbed in a canonical
+// partition order that is independent of which rank scanned them, so a
+// recovered run applies the exact change sequence of a fault-free run. With
+// an empty plan the original barrier-synchronized fast path runs, bit
+// identical to the pre-fault-tolerance driver.
 #pragma once
 
 #include <span>
@@ -34,12 +45,16 @@ struct ParallelSimplifyResult {
 /// parallelizes the host-side partition gather only (see
 /// partition_node_lists); the per-rank bodies stay single-threaded so the
 /// virtual-time measurement is not confounded by host parallelism.
+/// `fault_plan` selects the fault-tolerant protocol (see file comment);
+/// `fault` bounds its retries and sets the receive deadline.
 ParallelSimplifyResult simplify_parallel(AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts,
                                          const SimplifyConfig& config,
                                          int nranks, mpr::CostModel cost = {},
-                                         unsigned threads = 1);
+                                         unsigned threads = 1,
+                                         const mpr::FaultPlan& fault_plan = {},
+                                         const mpr::FaultConfig& fault = {});
 
 struct ParallelTraverseResult {
   std::vector<std::vector<NodeId>> paths;
@@ -47,12 +62,14 @@ struct ParallelTraverseResult {
 };
 
 /// Distributed maximal-path traversal: workers grow partition-local
-/// sub-paths; the master joins them across partition boundaries. `threads`
-/// as in simplify_parallel.
+/// sub-paths; the master joins them across partition boundaries. `threads`,
+/// `fault_plan` and `fault` as in simplify_parallel.
 ParallelTraverseResult traverse_parallel(const AsmGraph& g,
                                          std::span<const PartId> part,
                                          PartId nparts, int nranks,
                                          mpr::CostModel cost = {},
-                                         unsigned threads = 1);
+                                         unsigned threads = 1,
+                                         const mpr::FaultPlan& fault_plan = {},
+                                         const mpr::FaultConfig& fault = {});
 
 }  // namespace focus::dist

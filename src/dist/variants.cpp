@@ -200,6 +200,7 @@ ParallelVariantResult find_variants_parallel(const AsmGraph& g,
           std::vector<Variant> all;
           for (auto& m : gathered) {
             auto v = m.unpack_vector<Variant>();
+            FOCUS_CHECK(m.fully_consumed(), "trailing bytes in phase frame");
             all.insert(all.end(), v.begin(), v.end());
           }
           comm.charge(static_cast<double>(all.size()));

@@ -172,6 +172,7 @@ ParallelPreprocessResult preprocess_parallel(const ReadSet& input,
             result.stats.dropped_short +=
                 static_cast<std::size_t>(m.unpack<std::uint64_t>());
             result.stats.bases_trimmed += m.unpack<std::uint64_t>();
+            FOCUS_CHECK(m.fully_consumed(), "trailing bytes in gathered frame");
           }
           result.stats.output_reads = result.reads.size();
         }

@@ -1,0 +1,107 @@
+#include "mpr/fault.hpp"
+
+#include <array>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "mpr/message.hpp"
+
+namespace focus::mpr {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+/// One draw of the per-(rank, op) hash stream, as a real in [0, 1).
+double hash_real(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+double env_rate(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return 0.0;
+  return std::strtod(v, nullptr);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+FaultDecision FaultPlan::decide(Rank rank, std::uint64_t op) const {
+  FaultDecision d;
+  for (const CrashPoint& cp : crashes) {
+    if (cp.rank == rank && cp.op == op) {
+      d.crash = true;
+      return d;
+    }
+  }
+  if (p_crash == 0.0 && p_drop == 0.0 && p_duplicate == 0.0 &&
+      p_corrupt == 0.0 && p_delay == 0.0) {
+    return d;
+  }
+  // Independent stream per (seed, rank, op); draws consumed in fixed order
+  // so adding a rate never perturbs the draws of the other fault kinds.
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ (static_cast<std::uint64_t>(rank) + 1);
+  state = splitmix64(state) ^ op;
+  if (hash_real(state) < p_crash) {
+    d.crash = true;
+    return d;
+  }
+  const double drop_draw = hash_real(state);
+  const double dup_draw = hash_real(state);
+  const double corrupt_draw = hash_real(state);
+  const double delay_draw = hash_real(state);
+  if (drop_draw < p_drop) {
+    d.drop = true;
+  } else if (dup_draw < p_duplicate) {
+    d.duplicate = true;
+  } else if (corrupt_draw < p_corrupt) {
+    d.corrupt = true;
+  } else if (delay_draw < p_delay) {
+    d.delay = delay_vtime;
+  }
+  return d;
+}
+
+FaultPlan FaultPlan::from_env() {
+  FaultPlan plan;
+  const char* seed_env = std::getenv("FOCUS_FAULT_SEED");
+  if (seed_env == nullptr) return plan;
+  plan.seed = std::strtoull(seed_env, nullptr, 10);
+  plan.p_crash = env_rate("FOCUS_FAULT_CRASH");
+  plan.p_drop = env_rate("FOCUS_FAULT_DROP");
+  plan.p_duplicate = env_rate("FOCUS_FAULT_DUP");
+  plan.p_corrupt = env_rate("FOCUS_FAULT_CORRUPT");
+  plan.p_delay = env_rate("FOCUS_FAULT_DELAY");
+  // A bare seed with no rates still means "inject something": default to a
+  // light mix of every recoverable fault kind.
+  if (plan.empty()) {
+    plan.p_drop = plan.p_duplicate = plan.p_corrupt = plan.p_delay = 0.01;
+  }
+  return plan;
+}
+
+std::uint32_t Message::checksum() const {
+  return crc32(bytes_.data(), bytes_.size());
+}
+
+}  // namespace focus::mpr

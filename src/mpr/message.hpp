@@ -1,7 +1,9 @@
 // Message: a byte buffer with pack/unpack cursors, the unit of communication
 // in the mpr runtime. Supports trivially-copyable scalars, strings, and
 // vectors thereof. Unpacking past the end throws — a truncated message is a
-// protocol bug, not a recoverable condition.
+// protocol bug, not a recoverable condition. Declared lengths are validated
+// against the remaining buffer *before* any allocation, so a corrupted
+// 8-byte length prefix cannot trigger a multi-gigabyte allocation.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,8 @@
 
 namespace focus::mpr {
 
+class Runtime;
+
 class Message {
  public:
   Message() = default;
@@ -21,25 +25,26 @@ class Message {
   std::size_t size_bytes() const { return bytes_.size(); }
   bool fully_consumed() const { return cursor_ == bytes_.size(); }
 
+  /// CRC32 over the payload — the frame checksum the runtime verifies on
+  /// receive (defined in fault.cpp).
+  std::uint32_t checksum() const;
+
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void pack(const T& value) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
-    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    append(&value, sizeof(T));
   }
 
   void pack_string(const std::string& s) {
     pack(static_cast<std::uint64_t>(s.size()));
-    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
-    bytes_.insert(bytes_.end(), p, p + s.size());
+    append(s.data(), s.size());
   }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void pack_vector(const std::vector<T>& v) {
     pack(static_cast<std::uint64_t>(v.size()));
-    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
-    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+    append(v.data(), v.size() * sizeof(T));
   }
 
   template <typename T>
@@ -52,6 +57,7 @@ class Message {
 
   std::string unpack_string() {
     const auto n = unpack<std::uint64_t>();
+    FOCUS_CHECK(n <= remaining(), "string length exceeds message remainder");
     std::string s(static_cast<std::size_t>(n), '\0');
     take(s.data(), s.size());
     return s;
@@ -61,15 +67,27 @@ class Message {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> unpack_vector() {
     const auto n = unpack<std::uint64_t>();
+    FOCUS_CHECK(n <= remaining() / sizeof(T),
+                "vector length exceeds message remainder");
     std::vector<T> v(static_cast<std::size_t>(n));
     take(v.data(), v.size() * sizeof(T));
     return v;
   }
 
  private:
+  friend class Runtime;  // fault injection flips payload bytes
+
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+
+  void append(const void* src, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t off = bytes_.size();
+    bytes_.resize(off + n);
+    std::memcpy(bytes_.data() + off, src, n);
+  }
+
   void take(void* dst, std::size_t n) {
-    FOCUS_CHECK(cursor_ + n <= bytes_.size(),
-                "message unpack past end of buffer");
+    FOCUS_CHECK(n <= remaining(), "message unpack past end of buffer");
     std::memcpy(dst, bytes_.data() + cursor_, n);
     cursor_ += n;
   }

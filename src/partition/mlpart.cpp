@@ -404,6 +404,8 @@ ParallelPartitionResult partition_hierarchy_parallel(
                     const auto r = msg.unpack<std::uint32_t>();
                     sides[r] = msg.unpack_vector<std::uint8_t>();
                   }
+                  FOCUS_CHECK(msg.fully_consumed(),
+                              "trailing bytes in gathered frame");
                 }
                 for (std::size_t r = 0; r < regions.size(); ++r) {
                   full.pack_vector(sides[r]);
@@ -458,6 +460,8 @@ ParallelPartitionResult partition_hierarchy_parallel(
               const auto l = msg.unpack<std::uint32_t>();
               levels[l] = msg.unpack_vector<PartId>();
             }
+            FOCUS_CHECK(msg.fully_consumed(),
+                        "trailing bytes in gathered frame");
           }
           out.partitioning.levels = std::move(levels);
           out.partitioning.finest_cut =

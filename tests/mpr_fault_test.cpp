@@ -1,0 +1,418 @@
+// Fault model tests (DESIGN.md §7): deterministic fault schedules, failure
+// detection in the runtime (timeouts, CRC, composite errors), and exact
+// recovery by the fault-tolerant distributed drivers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/parallel.hpp"
+#include "mpr/fault.hpp"
+#include "mpr/runtime.hpp"
+
+namespace focus {
+namespace {
+
+using dist::AsmGraph;
+using dist::SimplifyConfig;
+using dist::SimplifyStats;
+
+// --- Fault plan determinism -------------------------------------------------
+
+TEST(FaultPlan, EmptyByDefaultAndPure) {
+  mpr::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.seed = 42;
+  EXPECT_TRUE(plan.empty()) << "a seed alone injects nothing";
+  plan.p_drop = 0.5;
+  EXPECT_FALSE(plan.empty());
+  for (Rank r = 0; r < 4; ++r) {
+    for (std::uint64_t op = 1; op <= 64; ++op) {
+      const auto a = plan.decide(r, op);
+      const auto b = plan.decide(r, op);
+      EXPECT_EQ(a.drop, b.drop) << "decide must be pure";
+    }
+  }
+}
+
+TEST(FaultPlan, CrashPointFiresExactlyAtItsOp) {
+  mpr::FaultPlan plan;
+  plan.crashes.push_back({1, 3});
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.decide(1, 3).crash);
+  EXPECT_FALSE(plan.decide(1, 2).crash);
+  EXPECT_FALSE(plan.decide(1, 4).crash);
+  EXPECT_FALSE(plan.decide(2, 3).crash);
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentSchedules) {
+  mpr::FaultPlan a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.p_drop = b.p_drop = 0.5;
+  int differs = 0;
+  for (std::uint64_t op = 1; op <= 256; ++op) {
+    if (a.decide(0, op).drop != b.decide(0, op).drop) ++differs;
+  }
+  EXPECT_GT(differs, 32);
+}
+
+// --- CRC32 and hostile message lengths --------------------------------------
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  const std::string check = "123456789";
+  EXPECT_EQ(mpr::crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
+                       check.size()),
+            0xcbf43926u);
+  EXPECT_EQ(mpr::crc32(nullptr, 0), 0u);
+}
+
+TEST(MessageHardening, HostileVectorLengthRejectedBeforeAllocation) {
+  mpr::Message msg;
+  // A corrupted 8-byte length prefix claiming ~1 exabyte of payload.
+  msg.pack(static_cast<std::uint64_t>(1) << 60);
+  msg.pack(std::uint32_t{7});
+  EXPECT_THROW(msg.unpack_vector<std::uint64_t>(), Error);
+}
+
+TEST(MessageHardening, HostileStringLengthRejectedBeforeAllocation) {
+  mpr::Message msg;
+  msg.pack(static_cast<std::uint64_t>(1) << 60);
+  EXPECT_THROW(msg.unpack_string(), Error);
+}
+
+TEST(MessageHardening, VectorLengthMustMatchRemainderExactly) {
+  mpr::Message msg;
+  msg.pack(std::uint64_t{3});               // claims 3 elements…
+  msg.pack_vector(std::vector<int>{1, 2});  // …but fewer bytes follow
+  EXPECT_THROW(msg.unpack_vector<std::uint64_t>(), Error);
+}
+
+// --- Runtime failure detection ----------------------------------------------
+
+TEST(RuntimeFault, RecvThrowsCorruptMessageOnChecksumMismatch) {
+  mpr::FaultPlan plan;
+  plan.seed = 7;
+  plan.p_corrupt = 1.0;
+  EXPECT_THROW(
+      mpr::Runtime::execute(
+          2,
+          [](mpr::Comm& comm) {
+            if (comm.rank() == 1) {
+              mpr::Message msg;
+              msg.pack_vector(std::vector<int>{1, 2, 3});
+              comm.send(0, 5, std::move(msg));
+            } else {
+              comm.recv(1, 5);
+            }
+          },
+          {}, plan),
+      mpr::CorruptMessage);
+}
+
+TEST(RuntimeFault, TryRecvReportsCorruptInsteadOfThrowing) {
+  mpr::FaultPlan plan;
+  plan.seed = 7;
+  plan.p_corrupt = 1.0;
+  mpr::RecvStatus status = mpr::RecvStatus::kOk;
+  const auto stats = mpr::Runtime::execute(
+      2,
+      [&](mpr::Comm& comm) {
+        if (comm.rank() == 1) {
+          mpr::Message msg;
+          msg.pack_vector(std::vector<int>{1, 2, 3});
+          comm.send(0, 5, std::move(msg));
+        } else {
+          status = comm.try_recv(1, 5, 1.0).status;
+        }
+      },
+      {}, plan);
+  EXPECT_EQ(status, mpr::RecvStatus::kCorrupt);
+  EXPECT_EQ(stats.ranks_failed, 0);
+}
+
+TEST(RuntimeFault, TimedRecvTimesOutOnTerminatedSender) {
+  double vtime_after = -1.0;
+  mpr::RecvStatus status = mpr::RecvStatus::kOk;
+  const auto stats = mpr::Runtime::execute(2, [&](mpr::Comm& comm) {
+    if (comm.rank() == 0) {
+      const auto res = comm.try_recv(1, 7, 0.25);
+      status = res.status;
+      vtime_after = comm.vtime();
+    }
+    // Rank 1 terminates without ever sending.
+  });
+  EXPECT_EQ(status, mpr::RecvStatus::kTimeout);
+  EXPECT_DOUBLE_EQ(vtime_after, 0.25) << "deadline charged to the clock";
+  EXPECT_DOUBLE_EQ(stats.recovery_vtime, 0.25);
+}
+
+TEST(RuntimeFault, TimedRecvTimesOutOnQuiescence) {
+  // Rank 1 is alive but blocked on a message rank 0 has not sent: the
+  // configuration is terminal, so rank 0's deadline must fire — after which
+  // rank 0 unblocks rank 1 and both finish cleanly.
+  mpr::RecvStatus status = mpr::RecvStatus::kOk;
+  const auto stats = mpr::Runtime::execute(2, [&](mpr::Comm& comm) {
+    if (comm.rank() == 0) {
+      status = comm.try_recv(1, 7, 0.5).status;
+      mpr::Message msg;
+      msg.pack(std::uint32_t{1});
+      comm.send(1, 8, std::move(msg));
+    } else {
+      auto msg = comm.recv(0, 8);
+      EXPECT_EQ(msg.unpack<std::uint32_t>(), 1u);
+    }
+  });
+  EXPECT_EQ(status, mpr::RecvStatus::kTimeout);
+  EXPECT_DOUBLE_EQ(stats.recovery_vtime, 0.5);
+  EXPECT_EQ(stats.ranks_failed, 0);
+}
+
+TEST(RuntimeFault, UntimedRecvFromDeadRankThrowsRankFailed) {
+  EXPECT_THROW(mpr::Runtime::execute(2,
+                                     [](mpr::Comm& comm) {
+                                       if (comm.rank() == 0) {
+                                         comm.recv(1, 3);
+                                       }
+                                     }),
+               mpr::RankFailed);
+}
+
+TEST(RuntimeFault, CompositeErrorListsEveryFailedRank) {
+  try {
+    mpr::Runtime::execute(3, [](mpr::Comm& comm) {
+      if (comm.rank() == 1) FOCUS_THROW("boom-one");
+      if (comm.rank() == 2) FOCUS_THROW("boom-two");
+    });
+    FAIL() << "expected a composite error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom-one"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom-two"), std::string::npos) << what;
+  }
+}
+
+TEST(RuntimeFault, InjectedCrashIsCountedNotRethrown) {
+  mpr::FaultPlan plan;
+  plan.crashes.push_back({1, 1});  // rank 1 dies at its first op
+  const auto stats = mpr::Runtime::execute(
+      2,
+      [](mpr::Comm& comm) {
+        if (comm.rank() == 1) {
+          mpr::Message msg;
+          msg.pack(std::uint32_t{0});
+          comm.send(0, 2, std::move(msg));  // crashes here
+        } else {
+          EXPECT_EQ(comm.try_recv(1, 2, 0.125).status,
+                    mpr::RecvStatus::kTimeout);
+        }
+      },
+      {}, plan);
+  EXPECT_EQ(stats.ranks_failed, 1);
+  EXPECT_EQ(stats.messages, 0u) << "the crashed send delivered nothing";
+}
+
+// --- Fault-tolerant drivers -------------------------------------------------
+
+std::string random_seq(Rng& rng, std::size_t len) {
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) s.push_back("ACGT"[rng.next_below(4)]);
+  return s;
+}
+
+/// 20-contig chain over a 3 kbp genome with transitive shortcuts, two junk
+/// spurs and one contained fragment — every simplify phase has work to do.
+AsmGraph make_fault_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::string genome = random_seq(rng, 3000);
+  AsmGraph g;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 20; ++i) {
+    chain.push_back(
+        g.add_node(genome.substr(static_cast<std::size_t>(i) * 140, 220), 6));
+  }
+  for (int i = 0; i + 1 < 20; ++i) g.add_edge(chain[i], chain[i + 1], 80);
+  for (int i = 0; i < 18; i += 3) g.add_edge(chain[i], chain[i + 2], 20);
+  const NodeId junk1 = g.add_node(random_seq(rng, 150), 1);
+  const NodeId junk2 = g.add_node(random_seq(rng, 150), 1);
+  g.add_edge(junk1, chain[5], 60);
+  g.add_edge(chain[10], junk2, 60);
+  const NodeId small = g.add_node(genome.substr(300, 90), 1);
+  g.add_edge(chain[2], small, 90, /*offset_estimate=*/20);
+  return g;
+}
+
+std::vector<PartId> striped_partition(const AsmGraph& g, PartId parts) {
+  std::vector<PartId> part(g.node_count());
+  const std::size_t per =
+      (g.node_count() + static_cast<std::size_t>(parts) - 1) /
+      static_cast<std::size_t>(parts);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    part[v] = static_cast<PartId>(v / per);
+  }
+  return part;
+}
+
+constexpr PartId kParts = 4;
+
+struct DriverOutcome {
+  SimplifyStats stats;
+  mpr::RunStats simplify_run;
+  std::vector<std::vector<NodeId>> paths;
+  mpr::RunStats traverse_run;
+};
+
+DriverOutcome run_drivers(int nranks, const mpr::FaultPlan& plan = {},
+                          const mpr::FaultConfig& fault = {}) {
+  AsmGraph g = make_fault_graph(100);
+  const auto part = striped_partition(g, kParts);
+  DriverOutcome out;
+  auto s = dist::simplify_parallel(g, part, kParts, SimplifyConfig{}, nranks,
+                                   {}, 1, plan, fault);
+  out.stats = s.stats;
+  out.simplify_run = s.run;
+  auto t = dist::traverse_parallel(g, part, kParts, nranks, {}, 1, plan, fault);
+  out.paths = std::move(t.paths);
+  out.traverse_run = t.run;
+  return out;
+}
+
+void expect_same_assembly(const DriverOutcome& got, const DriverOutcome& want,
+                          const std::string& context) {
+  EXPECT_EQ(got.stats.transitive_edges, want.stats.transitive_edges) << context;
+  EXPECT_EQ(got.stats.false_edges, want.stats.false_edges) << context;
+  EXPECT_EQ(got.stats.contained_nodes, want.stats.contained_nodes) << context;
+  EXPECT_EQ(got.stats.verified_edges, want.stats.verified_edges) << context;
+  EXPECT_EQ(got.stats.tip_nodes, want.stats.tip_nodes) << context;
+  EXPECT_EQ(got.stats.bubble_nodes, want.stats.bubble_nodes) << context;
+  ASSERT_EQ(got.paths, want.paths) << context;
+}
+
+// Pre-fault-tolerance RunStats captured from the seed build: an empty plan
+// must keep the fast path bit-identical, makespans included.
+TEST(DistFault, EmptyPlanIsByteIdenticalToSeedGoldens) {
+  struct Golden {
+    int ranks;
+    double s_makespan;
+    std::uint64_t s_messages, s_bytes;
+    double t_makespan;
+    std::uint64_t t_messages, t_bytes;
+  };
+  const Golden goldens[] = {
+      {1, 0x1.2f626e343b1b1p-11, 0, 0, 0x1.8d48d35882223p-22, 0, 0},
+      {2, 0x1.a4ae284f88063p-12, 4, 148, 0x1.00cac4f988867p-16, 1, 76},
+      {3, 0x1.4298b474efc9cp-12, 8, 260, 0x1.52d528d5a5fe2p-16, 2, 72},
+      {4, 0x1.11b0e00fd33a5p-12, 12, 324, 0x1.52f784ed764bep-16, 3, 116},
+  };
+  for (const Golden& gold : goldens) {
+    const auto out = run_drivers(gold.ranks);
+    EXPECT_EQ(out.simplify_run.makespan, gold.s_makespan) << gold.ranks;
+    EXPECT_EQ(out.simplify_run.messages, gold.s_messages) << gold.ranks;
+    EXPECT_EQ(out.simplify_run.bytes, gold.s_bytes) << gold.ranks;
+    EXPECT_EQ(out.traverse_run.makespan, gold.t_makespan) << gold.ranks;
+    EXPECT_EQ(out.traverse_run.messages, gold.t_messages) << gold.ranks;
+    EXPECT_EQ(out.traverse_run.bytes, gold.t_bytes) << gold.ranks;
+    EXPECT_EQ(out.simplify_run.retries, 0u);
+    EXPECT_EQ(out.simplify_run.ranks_failed, 0);
+    EXPECT_EQ(out.simplify_run.recovery_vtime, 0.0);
+    EXPECT_EQ(out.paths.size(), 3u) << gold.ranks;
+  }
+}
+
+// Crash a single worker at every op position it can reach; the recovered
+// assembly must be exactly the fault-free one, and the failure must be
+// reported in the stats.
+TEST(DistFault, CrashAtEveryWorkerOpRecoversExactAssembly) {
+  const int nranks = 3;
+  const auto want = run_drivers(nranks);
+  for (Rank worker = 1; worker < nranks; ++worker) {
+    for (std::uint64_t op = 1; op <= 10; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({worker, op});
+      const auto got = run_drivers(nranks, plan);
+      const std::string context = "worker " + std::to_string(worker) +
+                                  " crashed at op " + std::to_string(op);
+      expect_same_assembly(got, want, context);
+      // The simplify protocol runs 9 worker ops (4 × recv+send, final recv),
+      // so every op in that range must actually kill the worker.
+      if (op <= 9) {
+        EXPECT_EQ(got.simplify_run.ranks_failed, 1) << context;
+      }
+      if (op <= 2) {
+        EXPECT_GE(got.simplify_run.retries, 1u) << context;
+        EXPECT_GT(got.simplify_run.recovery_vtime, 0.0) << context;
+      }
+    }
+  }
+}
+
+TEST(DistFault, SingleRankMasterToleratesPlanWithoutWorkers) {
+  // With one rank the master scans everything itself; a plan that would
+  // crash workers has nobody to kill.
+  mpr::FaultPlan plan;
+  plan.crashes.push_back({1, 1});
+  const auto want = run_drivers(1);
+  const auto got = run_drivers(1, plan);
+  expect_same_assembly(got, want, "single-rank");
+  EXPECT_EQ(got.simplify_run.ranks_failed, 0);
+}
+
+TEST(DistFault, SameSeedGivesBitIdenticalRunStats) {
+  mpr::FaultPlan plan;
+  plan.seed = 99;
+  plan.p_drop = 0.10;
+  plan.p_duplicate = 0.05;
+  plan.p_corrupt = 0.05;
+  plan.p_delay = 0.10;
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  const auto a = run_drivers(4, plan, fault);
+  const auto b = run_drivers(4, plan, fault);
+  EXPECT_EQ(a.simplify_run.makespan, b.simplify_run.makespan);
+  EXPECT_EQ(a.simplify_run.rank_vtime, b.simplify_run.rank_vtime);
+  EXPECT_EQ(a.simplify_run.messages, b.simplify_run.messages);
+  EXPECT_EQ(a.simplify_run.bytes, b.simplify_run.bytes);
+  EXPECT_EQ(a.simplify_run.retries, b.simplify_run.retries);
+  EXPECT_EQ(a.simplify_run.ranks_failed, b.simplify_run.ranks_failed);
+  EXPECT_EQ(a.simplify_run.recovery_vtime, b.simplify_run.recovery_vtime);
+  EXPECT_EQ(a.traverse_run.makespan, b.traverse_run.makespan);
+  EXPECT_EQ(a.traverse_run.messages, b.traverse_run.messages);
+  EXPECT_EQ(a.traverse_run.retries, b.traverse_run.retries);
+  expect_same_assembly(a, b, "same seed");
+}
+
+// 50 seeds of mixed message faults (drops, duplicates, corruption, delays):
+// recovery must reproduce the fault-free assembly every time. Run under
+// TSan/ASan via tools/run_sanitizers.sh (ctest label: fault).
+TEST(DistFault, StressRandomMessageFaultsAlwaysRecover) {
+  const int nranks = 4;
+  const auto want = run_drivers(nranks);
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    mpr::FaultPlan plan;
+    plan.seed = trial * 7 + 1;
+    plan.p_drop = 0.05;
+    plan.p_duplicate = 0.05;
+    plan.p_corrupt = 0.05;
+    plan.p_delay = 0.05;
+    const auto got = run_drivers(nranks, plan, fault);
+    expect_same_assembly(got, want, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(DistFault, RetriesExhaustedThrows) {
+  mpr::FaultPlan plan;
+  plan.seed = 5;
+  plan.p_drop = 1.0;  // every message vanishes, so the first round must fail
+  mpr::FaultConfig fault;
+  fault.max_retries = 0;  // …and no replay is allowed
+  EXPECT_THROW(run_drivers(3, plan, fault), Error);
+}
+
+}  // namespace
+}  // namespace focus

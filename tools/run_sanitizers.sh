@@ -2,9 +2,11 @@
 # Runs the tier-1 ctest suite under ThreadSanitizer and combined
 # AddressSanitizer+UndefinedBehaviorSanitizer — so the seed-backend
 # equivalence suite (hashed k-mer index vs suffix-array oracle, packed-read
-# bit manipulation, two-pass NW scratch reuse) and the partitioner
-# determinism suite (fork_join recursion, pooled KL/k-way scoring,
-# byte-identical partitions across thread widths) are exercised under both
+# bit manipulation, two-pass NW scratch reuse), the partitioner determinism
+# suite (fork_join recursion, pooled KL/k-way scoring, byte-identical
+# partitions across thread widths), and the fault-injection suite (label
+# `fault`: crash-at-every-op recovery sweep, 50-seed mixed-fault stress of
+# the runtime's timeout/CRC detection paths) are exercised under both
 # memory/UB and data-race checking.
 #
 #   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]
@@ -15,6 +17,7 @@
 #
 #   tools/run_sanitizers.sh thread -R Thread       # only pool tests, TSan
 #   tools/run_sanitizers.sh asan-ubsan -R Seed     # equivalence, ASan+UBSan
+#   tools/run_sanitizers.sh thread -L fault        # fault suite under TSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

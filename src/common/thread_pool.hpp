@@ -80,6 +80,30 @@ class ThreadPool {
     return out;
   }
 
+  /// Deterministic chunked reduction: splits [0, n) into the same fixed
+  /// chunks as parallel_for (chunk c covers [c*grain, min(n, (c+1)*grain))),
+  /// computes fn(begin, end) -> T for every chunk, then folds the per-chunk
+  /// values in ascending chunk order: acc = merge(acc, value). The chunk
+  /// decomposition and the merge order depend only on (n, grain) — never on
+  /// the thread count — so the result is identical at every pool width; the
+  /// serial width-1 path runs the chunks inline in the same order.
+  template <typename T, typename ChunkFn, typename MergeFn>
+  T parallel_reduce(std::size_t n, std::size_t grain, T init,
+                    const ChunkFn& fn, const MergeFn& merge) {
+    if (n == 0) return init;
+    grain = grain == 0 ? 1 : grain;
+    const std::size_t chunks = (n + grain - 1) / grain;
+    std::vector<T> slot(chunks);
+    parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+      slot[begin / grain] = fn(begin, end);
+    });
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      acc = merge(std::move(acc), std::move(slot[c]));
+    }
+    return acc;
+  }
+
   /// Binary fork-join: runs `left` and `right`, potentially concurrently, and
   /// returns when both have finished. `right` is pushed onto the calling
   /// participant's deque (so an idle thread can steal it) while `left` runs

@@ -41,19 +41,23 @@ std::vector<std::vector<NodeId>> partition_node_lists(
     return nodes;
   }
   ThreadPool pool(resolved);
-  const std::size_t chunks = (n + kGatherGrain - 1) / kGatherGrain;
-  std::vector<std::vector<std::vector<NodeId>>> local(
-      chunks, std::vector<std::vector<NodeId>>(static_cast<std::size_t>(nparts)));
-  pool.parallel_for(n, kGatherGrain, [&](std::size_t b, std::size_t e) {
-    gather(b, e, local[b / kGatherGrain]);
-  });
-  // Merge in chunk order: each per-part list stays in ascending node order,
-  // so the result equals the serial scan at every width.
-  for (auto& chunk : local) {
-    for (std::size_t p = 0; p < nodes.size(); ++p) {
-      nodes[p].insert(nodes[p].end(), chunk[p].begin(), chunk[p].end());
-    }
-  }
+  // parallel_reduce merges the per-chunk buckets in chunk order, so each
+  // per-part list stays in ascending node order and the result equals the
+  // serial scan at every width.
+  using Buckets = std::vector<std::vector<NodeId>>;
+  nodes = pool.parallel_reduce(
+      n, kGatherGrain, std::move(nodes),
+      [&](std::size_t b, std::size_t e) {
+        Buckets local(static_cast<std::size_t>(nparts));
+        gather(b, e, local);
+        return local;
+      },
+      [](Buckets acc, Buckets chunk) {
+        for (std::size_t p = 0; p < acc.size(); ++p) {
+          acc[p].insert(acc[p].end(), chunk[p].begin(), chunk[p].end());
+        }
+        return acc;
+      });
   return nodes;
 }
 

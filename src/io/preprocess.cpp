@@ -47,6 +47,12 @@ std::size_t quality_trim_point(const std::string& qual,
 bool trim_read(Read& read, const PreprocessConfig& config) {
   FOCUS_CHECK(config.window_step > 0 || config.window_len == 0,
               "window step must be positive when quality trimming is enabled");
+  // A FASTQ record whose quality string is shorter than its sequence is
+  // malformed input; without this check the substr below would throw a raw
+  // std::out_of_range instead of a focus parse error.
+  FOCUS_CHECK(read.qual.empty() || read.qual.size() == read.seq.size(),
+              "malformed FASTQ record '" + read.name +
+                  "': quality length does not match sequence length");
   // Fixed trims.
   if (config.trim5 + config.trim3 >= read.seq.size()) return false;
   read.seq = read.seq.substr(config.trim5,
@@ -82,11 +88,16 @@ ReadSet preprocess(const ReadSet& input, const PreprocessConfig& config,
     r.reverse = false;
     const std::string fwd_seq = r.seq;
     const std::string fwd_name = r.name;
+    const std::string fwd_qual = r.qual;
     out.add(std::move(r));
     if (config.add_reverse_complements) {
       Read rc;
       rc.name = fwd_name + "/rc";
       rc.seq = dna::reverse_complement(fwd_seq);
+      // Base i of the RC read is base n-1-i of the forward read, so its
+      // quality string is the forward one reversed; dropping it would strip
+      // FASTQ reads of their qualities on the RC strand.
+      rc.qual.assign(fwd_qual.rbegin(), fwd_qual.rend());
       rc.origin = i;
       rc.reverse = true;
       out.add(std::move(rc));
@@ -130,11 +141,13 @@ ParallelPreprocessResult preprocess_parallel(const ReadSet& input,
           r.reverse = false;
           const std::string fwd_seq = r.seq;
           const std::string fwd_name = r.name;
+          const std::string fwd_qual = r.qual;
           local.add(std::move(r));
           if (config.add_reverse_complements) {
             Read rc;
             rc.name = fwd_name + "/rc";
             rc.seq = dna::reverse_complement(fwd_seq);
+            rc.qual.assign(fwd_qual.rbegin(), fwd_qual.rend());
             rc.origin = static_cast<ReadId>(i);
             rc.reverse = true;
             local.add(std::move(rc));

@@ -13,7 +13,11 @@
 // absorption reads, so the growth loop is a sequential dependence chain with
 // no scoring pass worth pooling. It only ever runs on the coarsest graph of
 // a region (a few hundred nodes), so the parallel partitioner (mlpart.hpp)
-// instead overlaps whole bisect_region calls via fork_join.
+// parallelizes *around* it instead: sibling regions overlap via fork_join,
+// and within one region `PartitionerConfig::trials` independently seeded
+// GGG+KL growths run concurrently on the pool (each trial's Rng derives
+// purely from (seed, region, trial); the best coarsest cut wins with ties
+// broken toward the smaller trial index).
 #pragma once
 
 #include <vector>

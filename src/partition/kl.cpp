@@ -25,17 +25,48 @@ struct NodeD {
   Weight d;
 };
 
-// Candidate best pair from one pair-search round.
+// Candidate best pair from one pair-search round. (i, j) are the pair's
+// indices into the sorted side arrays; together with dsum they carry the
+// tie-break key of the total order below.
 struct BestPair {
   bool found = false;
   NodeId a = kInvalidNode;
   NodeId b = kInvalidNode;
   Weight gain = 0;
+  Weight dsum = 0;
+  std::size_t i = 0, j = 0;
 };
 
+// Total order shared by every pair-search strategy: larger gain wins, ties
+// break toward the larger D-sum, then the smaller side-0 index, then the
+// smaller side-1 index. The side arrays are sorted by the total order
+// (D desc, node id asc), so the key is a pure function of (graph, part) —
+// independent of the strategy, the chunking, the pool width, and the
+// standard library.
+//
+// Why index order and not plain node-id order: gain == D-sum for every
+// zero-weight (non-adjacent) pair, so when the winning gain lands on an
+// equal-D-sum plateau, *all* non-adjacent pairs on the plateau tie. A
+// node-id tie-break would force every strategy to enumerate the whole
+// plateau (measured ~5x total KL work on the Fig. 4 graph sets); breaking
+// ties in diagonal-enumeration order instead lets the scans keep their
+// cannot-beat-or-tie cutoff, because every pair the cutoff prunes compares
+// strictly below the incumbent under this order.
+bool improves(const BestPair& best, Weight gain, Weight dsum, std::size_t i,
+              std::size_t j) {
+  if (!best.found) return true;
+  if (gain != best.gain) return gain > best.gain;
+  if (dsum != best.dsum) return dsum > best.dsum;
+  if (i != best.i) return i < best.i;
+  return j < best.j;
+}
+
 // The paper's scheme: sort each side by D descending, enumerate pairs in
-// decreasing D-sum order via a heap (diagonal scanning), stop when the
-// current D-sum cannot beat the best gain found.
+// decreasing D-sum order via a heap (diagonal scanning), stop once the next
+// D-sum cannot beat or tie the best gain found. The cutoff may fire on
+// dsum == best.gain: a pair there can at best tie the incumbent's gain with
+// an equal-or-smaller D-sum and a later enumeration position, which loses
+// the total order.
 BestPair diagonal_scan_best_pair(const Graph& g,
                                  const std::vector<NodeD>& side0,
                                  const std::vector<NodeD>& side1,
@@ -46,7 +77,16 @@ BestPair diagonal_scan_best_pair(const Graph& g,
   struct HeapEntry {
     Weight dsum;
     std::uint32_t i, j;
-    bool operator<(const HeapEntry& other) const { return dsum < other.dsum; }
+    // Total order: pop by descending D-sum, ties by ascending (i, j). A
+    // comparator that looked only at dsum would leave the pop order of
+    // equal-dsum entries implementation-defined (it varies between
+    // libstdc++ and libc++ heap layouts) — with the total order the popped
+    // maximum is unique, so the scan order is the same on every stdlib.
+    bool operator<(const HeapEntry& other) const {
+      if (dsum != other.dsum) return dsum < other.dsum;
+      if (i != other.i) return i > other.i;
+      return j > other.j;
+    }
   };
   std::priority_queue<HeapEntry> heap;
   heap.push(HeapEntry{side0[0].d + side1[0].d, 0, 0});
@@ -55,18 +95,21 @@ BestPair diagonal_scan_best_pair(const Graph& g,
     const HeapEntry top = heap.top();
     heap.pop();
     if (work != nullptr) *work += std::log2(static_cast<double>(heap.size()) + 2.0);
-    if (best.found && top.dsum <= best.gain) break;  // no pair can beat gmax
+    if (best.found && top.dsum <= best.gain) break;  // no pair can win
     const NodeId a = side0[top.i].node;
     const NodeId b = side1[top.j].node;
     const Weight gain = top.dsum - 2 * g.edge_weight(a, b);
     if (work != nullptr) {
       *work += std::log2(static_cast<double>(g.degree(a)) + 2.0);
     }
-    if (!best.found || gain > best.gain) {
+    if (improves(best, gain, top.dsum, top.i, top.j)) {
       best.found = true;
       best.a = a;
       best.b = b;
       best.gain = gain;
+      best.dsum = top.dsum;
+      best.i = top.i;
+      best.j = top.j;
     }
     if (top.i + 1 < side0.size()) {
       heap.push(HeapEntry{side0[top.i + 1].d + side1[top.j].d, top.i + 1,
@@ -79,24 +122,136 @@ BestPair diagonal_scan_best_pair(const Graph& g,
   return best;
 }
 
-// Naive fallback: examine every unlocked pair (O(n^2) per swap). Used by the
-// ablation bench to show the value of diagonal scanning.
-BestPair naive_best_pair(const Graph& g, const std::vector<NodeD>& side0,
-                         const std::vector<NodeD>& side1, double* work) {
-  BestPair best;
-  for (const NodeD& a : side0) {
-    for (const NodeD& b : side1) {
-      if (work != nullptr) *work += 1.0;
-      const Weight gain = a.d + b.d - 2 * g.edge_weight(a.node, b.node);
-      if (!best.found || gain > best.gain ||
-          (gain == best.gain && (a.node < best.a ||
-                                 (a.node == best.a && b.node < best.b)))) {
-        best.found = true;
-        best.a = a.node;
-        best.b = b.node;
-        best.gain = gain;
+/// Side-0 rows per chunk of the chunked pair search. The decomposition is a
+/// pure function of the row count, so per-chunk work merges identically at
+/// every pool width (the charges are whole pair counts — exact in a double).
+constexpr std::size_t kPairChunkRows = 64;
+
+// Chunked bounded scan — the pool-parallel diagonal strategy. Each chunk of
+// side-0 rows scans side-1 in D order and stops a row (or the whole chunk,
+// since rows are sorted by D descending) as soon as the D-sum can no longer
+// beat or tie the chunk-local best, which is seeded with the top D-sum pair
+// so pruning is active from the first row. Chunk-local pruning never drops
+// a global winner: a pruned pair has gain <= dsum <= local best gain, and
+// on equality it ties the local best's gain at an equal-or-smaller D-sum
+// and a later (i, j) — strictly below it in the total order. The per-chunk
+// winners and work counts merge in chunk order.
+BestPair chunked_best_pair(const Graph& g, const std::vector<NodeD>& side0,
+                           const std::vector<NodeD>& side1, double* work,
+                           double* pooled_work, ThreadPool* pool) {
+  BestPair seed;
+  seed.found = true;
+  seed.a = side0[0].node;
+  seed.b = side1[0].node;
+  seed.dsum = side0[0].d + side1[0].d;
+  seed.gain = seed.dsum - 2 * g.edge_weight(seed.a, seed.b);
+  seed.i = 0;
+  seed.j = 0;
+  if (work != nullptr) *work += 1.0;
+
+  struct ChunkResult {
+    BestPair best;
+    double work = 0.0;
+  };
+  const auto scan_chunk = [&](std::size_t begin, std::size_t end) {
+    ChunkResult r;
+    r.best = seed;
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeD& a = side0[i];
+      if (a.d + side1[0].d <= r.best.gain) break;  // rows sorted by D desc
+      for (std::size_t j = 0; j < side1.size(); ++j) {
+        const NodeD& b = side1[j];
+        const Weight dsum = a.d + b.d;
+        if (dsum <= r.best.gain) break;
+        r.work += 1.0;
+        const Weight gain = dsum - 2 * g.edge_weight(a.node, b.node);
+        if (improves(r.best, gain, dsum, i, j)) {
+          r.best.a = a.node;
+          r.best.b = b.node;
+          r.best.gain = gain;
+          r.best.dsum = dsum;
+          r.best.i = i;
+          r.best.j = j;
+        }
       }
     }
+    return r;
+  };
+  const auto merge = [](ChunkResult acc, ChunkResult chunk) {
+    if (improves(acc.best, chunk.best.gain, chunk.best.dsum, chunk.best.i,
+                 chunk.best.j)) {
+      acc.best = chunk.best;
+    }
+    acc.work += chunk.work;
+    return acc;
+  };
+
+  ChunkResult init;
+  init.best = seed;
+  ChunkResult total;
+  if (pool != nullptr && pool->thread_count() > 1) {
+    total = pool->parallel_reduce(side0.size(), kPairChunkRows,
+                                  std::move(init), scan_chunk, merge);
+  } else {
+    total = std::move(init);
+    for (std::size_t begin = 0; begin < side0.size();
+         begin += kPairChunkRows) {
+      total = merge(std::move(total),
+                    scan_chunk(begin, std::min(side0.size(),
+                                               begin + kPairChunkRows)));
+    }
+  }
+  if (work != nullptr) *work += total.work;
+  if (pooled_work != nullptr) *pooled_work += total.work;
+  return total.best;
+}
+
+// Naive fallback: examine every unlocked pair (O(n^2) per swap). Kept for
+// the ablation bench; chunk-parallel on a pool, with the chunk winners and
+// the (integer-valued) work counts merged in chunk order so the result and
+// the accounting equal the serial scan's at every width.
+BestPair naive_best_pair(const Graph& g, const std::vector<NodeD>& side0,
+                         const std::vector<NodeD>& side1, double* work,
+                         ThreadPool* pool) {
+  const auto scan_row_range = [&](std::size_t begin, std::size_t end) {
+    BestPair best;
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeD& a = side0[i];
+      for (std::size_t j = 0; j < side1.size(); ++j) {
+        const NodeD& b = side1[j];
+        const Weight dsum = a.d + b.d;
+        const Weight gain = dsum - 2 * g.edge_weight(a.node, b.node);
+        if (improves(best, gain, dsum, i, j)) {
+          best.found = true;
+          best.a = a.node;
+          best.b = b.node;
+          best.gain = gain;
+          best.dsum = dsum;
+          best.i = i;
+          best.j = j;
+        }
+      }
+    }
+    return best;
+  };
+  BestPair best;
+  if (pool != nullptr && pool->thread_count() > 1 &&
+      side0.size() >= 2 * kPairChunkRows) {
+    best = pool->parallel_reduce(
+        side0.size(), kPairChunkRows, BestPair{},
+        scan_row_range, [](BestPair acc, BestPair chunk) {
+          if (chunk.found &&
+              improves(acc, chunk.gain, chunk.dsum, chunk.i, chunk.j)) {
+            acc = chunk;
+          }
+          return acc;
+        });
+  } else {
+    best = scan_row_range(0, side0.size());
+  }
+  if (work != nullptr) {
+    *work += static_cast<double>(side0.size()) *
+             static_cast<double>(side1.size());
   }
   return best;
 }
@@ -108,7 +263,7 @@ constexpr std::size_t kParallelKlMinNodes = 512;
 
 Weight kl_bisection_refine(const Graph& g, std::vector<PartId>& part,
                            const KlConfig& config, double* work,
-                           ThreadPool* pool) {
+                           ThreadPool* pool, double* pooled_work) {
   const std::size_t n = g.node_count();
   FOCUS_CHECK(part.size() == n, "partition size mismatch");
   for (const PartId p : part) {
@@ -157,6 +312,14 @@ Weight kl_bisection_refine(const Graph& g, std::vector<PartId>& part,
         if (work != nullptr) *work += static_cast<double>(g.degree(v));
       }
     }
+    // Pool-parallelizable share of this pass, for the bench's speedup model.
+    // Gated on the instance size alone (not the pool width) so the figure is
+    // identical at every width.
+    if (pooled_work != nullptr && n >= kParallelKlMinNodes) {
+      for (NodeId v = 0; v < n; ++v) {
+        *pooled_work += static_cast<double>(g.degree(v));
+      }
+    }
     std::fill(locked.begin(), locked.end(), false);
 
     std::vector<SwapRecord> swaps;
@@ -184,10 +347,19 @@ Weight kl_bisection_refine(const Graph& g, std::vector<PartId>& part,
         *work += total * std::log2(total + 2.0);
       }
 
-      const BestPair best =
-          config.diagonal_scanning
-              ? diagonal_scan_best_pair(g, side0, side1, work)
-              : naive_best_pair(g, side0, side1, work);
+      // Strategy dispatch. The chunked-vs-heap choice compares the
+      // unlocked-node count against the config threshold — a pure function
+      // of (graph, part, config) — so every width takes the same branch and
+      // charges the same work.
+      BestPair best;
+      if (!config.diagonal_scanning) {
+        best = naive_best_pair(g, side0, side1, work, pool);
+      } else if (!side0.empty() && !side1.empty() &&
+                 side0.size() + side1.size() >= config.pair_chunk_min_nodes) {
+        best = chunked_best_pair(g, side0, side1, work, pooled_work, pool);
+      } else {
+        best = diagonal_scan_best_pair(g, side0, side1, work);
+      }
       if (!best.found) break;
 
       // Perform the swap.

@@ -2,13 +2,37 @@
 //
 // Each pass repeatedly selects the unlocked pair (vz ∈ P1, vy ∈ P2) with the
 // greatest swap gain g = D(vz) + D(vy) − 2·w(vz,vy), swaps and locks it, and
-// updates neighbors' D values. Pair selection follows the paper's
-// O(n² log n) scheme: nodes of each side are kept sorted by D value and pairs
-// are enumerated in decreasing D-sum order (diagonal scanning, Dutt [18]);
-// the scan stops once the current D-sum cannot beat the best gain seen.
-// Two cutoffs end a pass: all pairs locked, or the maximal partial gain sum
-// has not improved for `idle_swap_limit` (50) swaps. Swaps after the maximal
-// partial sum are rolled back; passes repeat until a pass yields no gain.
+// updates neighbors' D values. Two cutoffs end a pass: all pairs locked, or
+// the maximal partial gain sum has not improved for `idle_swap_limit` (50)
+// swaps. Swaps after the maximal partial sum are rolled back; passes repeat
+// until a pass yields no gain.
+//
+// The selected pair is the unique maximum of a total order: largest gain,
+// ties broken toward the larger D-sum, then the earlier position (i, j) in
+// the diagonal enumeration of the side arrays (each sorted by D descending,
+// node id ascending — itself a total order). Tie-breaking in enumeration
+// order rather than by raw node id is deliberate: every zero-weight pair
+// has gain == D-sum, so gain ties pool on equal-D-sum plateaus, and a
+// node-id tie-break would force the scans to enumerate whole plateaus
+// (~5x total KL work on the Fig. 4 sets) instead of cutting off. Every
+// pair-search strategy below computes the same argmax, so they are
+// interchangeable swap for swap:
+//  * diagonal scanning (the paper's O(n² log n) scheme, Dutt [18]): both
+//    sides sorted by D descending, pairs enumerated in decreasing D-sum
+//    order through a heap; the scan stops once the next D-sum can no longer
+//    beat the best gain seen (gain ≤ D-sum because edge weights are
+//    non-negative, and a later pair that merely ties loses the total order).
+//  * chunked bounded scan (`pair_chunk_min_nodes`): side-0 rows are split
+//    into fixed chunks; each chunk scans side-1 in D order with the same
+//    cannot-win cutoff against a chunk-local best seeded from the
+//    top D-sum pair, and the per-chunk winners are reduced in chunk order.
+//    Chunks run on the ThreadPool when one is supplied — this is the
+//    per-swap hot loop of large refinement levels — and inline, in chunk
+//    order, otherwise; either way the result and the work accounting are
+//    byte-identical because the strategy choice and the chunk decomposition
+//    depend only on the unlocked-node count, never the pool width.
+//  * naive all-pairs (O(n³)-style, kept for the ablation benchmark), also
+//    chunk-parallel on a pool.
 #pragma once
 
 #include <vector>
@@ -28,19 +52,42 @@ struct KlConfig {
   /// O(n² log n) scheme). When false, falls back to the naive O(n³)-style
   /// full pair scan per swap — kept for the ablation benchmark.
   bool diagonal_scanning = true;
+  /// Unlocked-node count (both sides together) at or above which the
+  /// diagonal pair search switches from the serial heap scan to the chunked
+  /// bounded scan, whose chunks run on the pool. The threshold compares
+  /// against problem size only — never the pool width — so the strategy
+  /// choice, the selected pairs, and the work accounting are identical at
+  /// every width. Chunk-local pruning is weaker than the heap's global
+  /// bound (each chunk re-scans side 1 until its own cutoff fires), so
+  /// chunking trades more total work for divisible work; the default keeps
+  /// the heap scan on small and mid-size instances — including the Fig. 4
+  /// hybrid graph sets, whose work profile it would otherwise skew — and
+  /// chunks only where the extra evaluations amortize across workers.
+  /// 0 forces chunking everywhere (used by tests and the ablation bench);
+  /// SIZE_MAX restores the pure heap scan.
+  std::size_t pair_chunk_min_nodes = 4096;
 };
 
 /// Refines a bisection (part ids 0/1) in place; returns the final edge cut.
 /// `work` accumulates work units for virtual-time accounting.
 ///
 /// With a pool, the per-pass D-value initialization (the O(E) scoring sweep)
-/// runs as a parallel scoring pass into per-node slots; the swap loop itself
-/// stays sequential. D values are pure functions of (graph, part), so the
-/// refinement — and the accumulated `work` — are bit-identical at every pool
-/// width, including pool == nullptr.
+/// runs as a parallel scoring pass into per-node slots and the per-swap pair
+/// search runs chunk-parallel once the unlocked-node count reaches
+/// `pair_chunk_min_nodes`; the swap commits stay sequential. D values are
+/// pure functions of (graph, part) and every reduction merges in chunk
+/// order, so the refinement — and the accumulated `work` — are bit-identical
+/// at every pool width, including pool == nullptr.
+///
+/// `pooled_work` (if non-null) additionally accumulates the subset of `work`
+/// spent in pool-parallelizable loops (the D-value sweeps of instances with
+/// >= 512 nodes and the chunked pair-search chunks). It is a pure function
+/// of (graph, part, config) — the same at every width — and feeds the Fig. 4
+/// bench's intra-bisection speedup model.
 Weight kl_bisection_refine(const graph::Graph& g, std::vector<PartId>& part,
                            const KlConfig& config = {},
                            double* work = nullptr,
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           double* pooled_work = nullptr);
 
 }  // namespace focus::partition

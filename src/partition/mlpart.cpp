@@ -56,7 +56,8 @@ std::vector<std::uint8_t> bisect_region(const Graph& g,
                                         const PartitionerConfig& config,
                                         std::uint64_t region_seed,
                                         Weight region_weight, double* work,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool,
+                                        BisectRegionAccounting* acct) {
   std::vector<std::uint8_t> side(region.size(), 0);
   if (region.size() < 2) return side;
 
@@ -81,11 +82,58 @@ std::vector<std::uint8_t> bisect_region(const Graph& g,
     }
   }
 
-  // Initial bisection on the coarsest graph.
-  Rng rng(mix_seed(region_seed, 0x600d, 0x5eed));
-  std::vector<PartId> part =
-      greedy_graph_growing(mini.coarsest(), rng, config.ggg, work);
-  kl_bisection_refine(mini.coarsest(), part, config.kl, work, pool);
+  // Multi-trial initial bisection on the coarsest graph (Karypis & Kumar:
+  // grow several randomly seeded bisections, keep the best). Trial t draws
+  // its Rng purely from (seed, region, t); the winner is the total-order
+  // argmin of (coarsest cut, trial), so the choice is independent of
+  // evaluation order. Trials run concurrently on the pool — each charges a
+  // private work slot, merged in trial order — which turns the serial root
+  // bisection into pool-wide work. trials == 1 keeps the original direct
+  // charging so the single-trial accounting stays bit-identical to the
+  // pre-trials partitioner.
+  double* pooled_work = acct != nullptr ? &acct->pooled_work : nullptr;
+  const std::size_t trials = std::max<unsigned>(config.trials, 1);
+  std::vector<PartId> part;
+  if (trials == 1) {
+    Rng rng(mix_seed(region_seed, 0x600d, 0x5eed));
+    part = greedy_graph_growing(mini.coarsest(), rng, config.ggg, work);
+    kl_bisection_refine(mini.coarsest(), part, config.kl, work, pool,
+                        pooled_work);
+  } else {
+    struct Trial {
+      std::vector<PartId> part;
+      Weight cut = 0;
+      double work = 0.0;
+    };
+    std::vector<Trial> runs(trials);
+    const auto run_trial = [&](std::size_t t) {
+      // Trial KL instances stay single-threaded: the trials themselves are
+      // the parallelism here, and their pooled-eligible work is already
+      // covered by the per-trial slots (no double counting in acct).
+      Rng rng(mix_seed(region_seed, 0x600d, 0x5eed + t));
+      Trial& r = runs[t];
+      r.part = greedy_graph_growing(mini.coarsest(), rng, config.ggg, &r.work);
+      r.cut = kl_bisection_refine(mini.coarsest(), r.part, config.kl, &r.work,
+                                  nullptr);
+    };
+    if (pool != nullptr && pool->thread_count() > 1) {
+      pool->parallel_for(trials, 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t t = b; t < e; ++t) run_trial(t);
+      });
+    } else {
+      for (std::size_t t = 0; t < trials; ++t) run_trial(t);
+    }
+    std::size_t winner = 0;
+    for (std::size_t t = 1; t < trials; ++t) {
+      if (runs[t].cut < runs[winner].cut) winner = t;  // ties keep earliest
+    }
+    if (acct != nullptr) acct->trial_work.resize(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      if (work != nullptr) *work += runs[t].work;
+      if (acct != nullptr) acct->trial_work[t] = runs[t].work;
+    }
+    part = std::move(runs[winner].part);
+  }
 
   // Project and refine down to the region's finest level. Each fine node
   // reads only its own parent's label, so the projection is a parallel
@@ -104,7 +152,8 @@ std::vector<std::uint8_t> bisect_region(const Graph& g,
       }
     }
     part = std::move(fine);
-    kl_bisection_refine(mini.levels[l], part, config.kl, work, pool);
+    kl_bisection_refine(mini.levels[l], part, config.kl, work, pool,
+                        pooled_work);
   }
 
   for (std::size_t i = 0; i < region.size(); ++i) {
@@ -211,6 +260,9 @@ struct BisectTreeCtx {
   PartId k;
   std::vector<PartId>* part;                    // final labels; disjoint writes
   std::vector<std::vector<double>>* step_work;  // [step][label] work slots
+  // [step][label] intra-bisection accounting slots (per-trial / pooled work).
+  std::vector<std::vector<std::vector<double>>>* step_trial_work;
+  std::vector<std::vector<double>>* step_pooled_work;
   ThreadPool* pool;                             // nullptr => serial
 };
 
@@ -234,10 +286,15 @@ void bisect_subtree(const BisectTreeCtx& ctx, std::vector<NodeId>& region,
     return;
   }
   double* work = &(*ctx.step_work)[step][static_cast<std::size_t>(label)];
+  BisectRegionAccounting acct;
   const std::vector<std::uint8_t> side = bisect_region(
       *ctx.g, region, *ctx.config,
       mix_seed(ctx.config->seed, step, static_cast<std::uint64_t>(label)),
-      region_weight, work, ctx.pool);
+      region_weight, work, ctx.pool, &acct);
+  (*ctx.step_trial_work)[step][static_cast<std::size_t>(label)] =
+      std::move(acct.trial_work);
+  (*ctx.step_pooled_work)[step][static_cast<std::size_t>(label)] =
+      acct.pooled_work;
 
   // Split, totalling the child weights here so the children inherit their
   // node-weight accounting from the split point.
@@ -292,8 +349,13 @@ HierarchyPartitioning partition_hierarchy(const GraphHierarchy& h, PartId k,
   HierarchyPartitioning result;
   result.parts = k;
   result.step_work.resize(steps);
+  result.step_trial_work.resize(steps);
+  result.step_pooled_work.resize(steps);
   for (std::size_t s = 0; s < steps; ++s) {
-    result.step_work[s].assign(static_cast<std::size_t>(1) << s, 0.0);
+    const std::size_t regions = static_cast<std::size_t>(1) << s;
+    result.step_work[s].assign(regions, 0.0);
+    result.step_trial_work[s].assign(regions, {});
+    result.step_pooled_work[s].assign(regions, 0.0);
   }
 
   // Phase 1: recursive bisection over the recursion tree; sibling subtrees
@@ -302,8 +364,14 @@ HierarchyPartitioning partition_hierarchy(const GraphHierarchy& h, PartId k,
   {
     std::vector<NodeId> root(finest.node_count());
     std::iota(root.begin(), root.end(), NodeId{0});
-    const BisectTreeCtx ctx{&finest, &config, k,
-                            &part,   &result.step_work, pool};
+    const BisectTreeCtx ctx{&finest,
+                            &config,
+                            k,
+                            &part,
+                            &result.step_work,
+                            &result.step_trial_work,
+                            &result.step_pooled_work,
+                            pool};
     bisect_subtree(ctx, root, finest.total_node_weight(), 0, 0);
   }
 

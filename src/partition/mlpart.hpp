@@ -44,6 +44,15 @@ struct PartitionerConfig {
   KwayConfig kway;
   /// Master seed; every stochastic choice derives from it deterministically.
   std::uint64_t seed = 42;
+  /// Independently seeded GGG+KL trials per initial bisection (Karypis &
+  /// Kumar run several and keep the best). Trial t of a region draws its Rng
+  /// purely from (seed, region, t); the best coarsest-level cut wins, ties
+  /// break toward the smaller trial index, so the result is a total-order
+  /// argmin independent of evaluation order. Trials run concurrently on the
+  /// host pool — this is what parallelizes *inside* the root bisection, the
+  /// serial bottleneck of the Fig. 4 pool speedup. 1 (the default)
+  /// reproduces the single-trial partitioner bit for bit.
+  unsigned trials = 1;
   /// Run the per-level global k-way refinement stage.
   bool kway_refinement = true;
   /// Host threads for the serial driver's ThreadPool (0 = auto: honor
@@ -68,21 +77,45 @@ struct HierarchyPartitioning {
   std::vector<std::vector<double>> step_work;
   /// Work units of the global k-way refinement of each hierarchy level.
   std::vector<double> kway_work;
+  /// Intra-bisection parallelism split of each region task, feeding the
+  /// Fig. 4 bench's speedup model (both deterministic across widths):
+  /// step_trial_work[s][r] holds the per-trial GGG+KL work of the
+  /// multi-trial initial bisection (empty when trials == 1), and
+  /// step_pooled_work[s][r] the portion of step_work[s][r] spent in
+  /// pool-parallel scoring loops (KL D-value sweeps, chunked pair-search
+  /// chunks) outside the trials.
+  std::vector<std::vector<std::vector<double>>> step_trial_work;
+  std::vector<std::vector<double>> step_pooled_work;
 
   const std::vector<PartId>& finest() const { return levels.front(); }
 };
 
-/// Bisects the nodes in `region` (ids into `g`) via coarsen + GGG + KL with
-/// projection. Returns one side bit per region entry. `region_weight` is the
-/// total node weight of the region, accounted once by the caller at the
-/// split point (asserted against the induced subgraph). With a pool, the
-/// KL scoring and projection loops run as parallel scoring passes.
+/// Optional per-task accounting returned by bisect_region for the bench's
+/// intra-bisection speedup model.
+struct BisectRegionAccounting {
+  /// GGG+KL work of each initial-bisection trial (empty when trials == 1,
+  /// whose work is charged straight to `work` to keep the single-trial
+  /// accounting bit-identical to the pre-trials partitioner).
+  std::vector<double> trial_work;
+  /// Work spent in pool-parallelizable loops outside the trials.
+  double pooled_work = 0.0;
+};
+
+/// Bisects the nodes in `region` (ids into `g`) via coarsen + multi-trial
+/// GGG + KL with projection. Returns one side bit per region entry.
+/// `region_weight` is the total node weight of the region, accounted once by
+/// the caller at the split point (asserted against the induced subgraph).
+/// With a pool, the initial-bisection trials run concurrently (each trial's
+/// work lands in a per-trial slot merged in trial order) and the KL scoring,
+/// pair-search, and projection loops run as parallel scoring passes — all
+/// byte-identical to the serial walk.
 std::vector<std::uint8_t> bisect_region(const graph::Graph& g,
                                         const std::vector<NodeId>& region,
                                         const PartitionerConfig& config,
                                         std::uint64_t region_seed,
                                         Weight region_weight, double* work,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        BisectRegionAccounting* acct = nullptr);
 
 /// Serial reference implementation — and, with config.threads != 1, the
 /// pool-parallel host driver. Byte-identical output at every thread width.

@@ -332,6 +332,42 @@ TEST(Preprocess, ReverseComplementsCanBeDisabled) {
   EXPECT_EQ(out.size(), 1u);
 }
 
+TEST(Preprocess, MalformedQualityLengthRejectedWithTypedError) {
+  // A quality string shorter than the sequence is malformed FASTQ input;
+  // before validation the substr below the check escaped as a raw
+  // std::out_of_range instead of a focus parse error.
+  Read r{"bad", "ACGTACGTAC", "III", kInvalidRead, false};
+  PreprocessConfig cfg;
+  cfg.trim5 = 4;
+  cfg.window_len = 0;
+  cfg.min_length = 4;
+  EXPECT_THROW(trim_read(r, cfg), Error);
+  // The same record inside a full preprocessing pass.
+  ReadSet input;
+  input.add(Read{"bad", "ACGTACGTAC", "III", kInvalidRead, false});
+  EXPECT_THROW(preprocess(input, cfg), Error);
+}
+
+TEST(Preprocess, ReverseComplementCarriesReversedQuality) {
+  ReadSet input;
+  input.add(Read{"a", "AAACCC", "ABCDEF", kInvalidRead, false});
+  PreprocessConfig cfg;
+  cfg.window_len = 0;
+  cfg.min_length = 4;
+  const auto out = preprocess(input, cfg);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].seq, "GGGTTT");
+  // Base i of the RC read is base n-1-i of the forward read, so the RC
+  // quality is the forward quality reversed (it used to be dropped).
+  EXPECT_EQ(out[1].qual, "FEDCBA");
+  // FASTA input (no qualities) keeps an empty RC quality.
+  ReadSet fasta;
+  fasta.add(Read{"f", "AAACCC", "", kInvalidRead, false});
+  const auto out2 = preprocess(fasta, cfg);
+  ASSERT_EQ(out2.size(), 2u);
+  EXPECT_TRUE(out2[1].qual.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Subset splitting
 // ---------------------------------------------------------------------------
@@ -418,6 +454,18 @@ TEST_P(ParallelPreprocess, MatchesSerialExactly) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelPreprocess,
                          ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(ParallelPreprocess2, ReverseComplementQualityCarriedAcrossRanks) {
+  ReadSet input;
+  input.add(Read{"a", "AAACCC", "ABCDEF", kInvalidRead, false});
+  PreprocessConfig cfg;
+  cfg.window_len = 0;
+  cfg.min_length = 4;
+  const auto out = preprocess_parallel(input, cfg, 2);
+  ASSERT_EQ(out.reads.size(), 2u);
+  EXPECT_EQ(out.reads[1].seq, "GGGTTT");
+  EXPECT_EQ(out.reads[1].qual, "FEDCBA");
+}
 
 TEST(ParallelPreprocess2, MoreRanksReduceComputeMakespan) {
   ReadSet input;

@@ -2,6 +2,7 @@
 // refinement, global k-way refinement, and the multilevel driver (§IV).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 
 #include "common/error.hpp"
@@ -188,7 +189,7 @@ TEST(Kl, PreservesSideSizes) {
   EXPECT_EQ(count_side(0), before0);  // pure pair swaps
 }
 
-TEST(Kl, NaiveAndDiagonalScanningAgreeOnCutQuality) {
+TEST(Kl, NaiveAndDiagonalScanningAgreeExactly) {
   for (std::uint64_t seed = 20; seed < 25; ++seed) {
     const Graph g = random_graph(seed, 24, 40);
     Rng rng_a(99), rng_b(99);
@@ -200,10 +201,58 @@ TEST(Kl, NaiveAndDiagonalScanningAgreeOnCutQuality) {
     naive.diagonal_scanning = false;
     const Weight cut_a = kl_bisection_refine(g, part_a, diag);
     const Weight cut_b = kl_bisection_refine(g, part_b, naive);
-    // Both are hill-climbers over the same move set; allow small divergence
-    // from tie-breaking but require comparable quality.
-    EXPECT_NEAR(static_cast<double>(cut_a), static_cast<double>(cut_b),
-                0.15 * static_cast<double>(std::max<Weight>(cut_a, 10)));
+    // Both strategies select the argmax pair of the same total order
+    // (gain, D-sum, enumeration position) every swap, so they are
+    // interchangeable swap for swap — not just comparable.
+    EXPECT_EQ(cut_a, cut_b) << "seed " << seed;
+    EXPECT_EQ(part_a, part_b) << "seed " << seed;
+  }
+}
+
+// Unit edge weights maximize gain ties: many pairs share the best gain, so
+// any strategy that breaks ties differently (e.g. the old stdlib-dependent
+// heap pop order, or an update rule with no tie-break at all) diverges
+// within a few swaps. The shared (gain, D-sum, enumeration-position) total
+// order must make the heap diagonal scan, the chunked bounded scan, and
+// the naive all-pairs search pick the same pair every swap, giving
+// identical final parts and cuts.
+TEST(Kl, PairSearchStrategiesIdenticalOnUniformWeights) {
+  const auto uniform_graph = [](std::uint64_t seed, std::size_t n,
+                                std::size_t extra) {
+    Rng rng(seed);
+    GraphBuilder b(n);
+    for (NodeId v = 1; v < n; ++v) {
+      b.add_edge(v, static_cast<NodeId>(rng.next_below(v)), 1);
+    }
+    for (std::size_t i = 0; i < extra; ++i) {
+      const auto u = static_cast<NodeId>(rng.next_below(n));
+      const auto v = static_cast<NodeId>(rng.next_below(n));
+      if (u != v) b.add_edge(u, v, 1);
+    }
+    return b.build();
+  };
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    const Graph g = uniform_graph(seed, 48, 96);
+    Rng rng(seed * 3 + 1);
+    const auto start = greedy_graph_growing(g, rng);
+
+    KlConfig heap;
+    heap.pair_chunk_min_nodes = SIZE_MAX;  // pure heap diagonal scan
+    KlConfig chunked;
+    chunked.pair_chunk_min_nodes = 0;  // chunked bounded scan at any size
+    KlConfig naive;
+    naive.diagonal_scanning = false;
+
+    auto part_heap = start;
+    auto part_chunked = start;
+    auto part_naive = start;
+    const Weight cut_heap = kl_bisection_refine(g, part_heap, heap);
+    const Weight cut_chunked = kl_bisection_refine(g, part_chunked, chunked);
+    const Weight cut_naive = kl_bisection_refine(g, part_naive, naive);
+    EXPECT_EQ(cut_heap, cut_naive) << "seed " << seed;
+    EXPECT_EQ(cut_heap, cut_chunked) << "seed " << seed;
+    EXPECT_EQ(part_heap, part_naive) << "seed " << seed;
+    EXPECT_EQ(part_heap, part_chunked) << "seed " << seed;
   }
 }
 
@@ -391,6 +440,40 @@ TEST(MlPart, DeterministicForSeed) {
   const auto c = partition_hierarchy(h, 4, cfg);
   // Different seed usually yields a different (but still valid) partition.
   EXPECT_TRUE(is_complete(c.levels[0], 4));
+}
+
+TEST(MlPart, MultiTrialBisectionValidAndSingleTrialUnchanged) {
+  const Graph g = random_graph(75, 160, 320);
+  const auto h = hierarchy_of(g);
+
+  // trials = 1 (the default) must reproduce the pre-trials partitioner.
+  PartitionerConfig base;
+  const auto ref = partition_hierarchy(h, 8, base);
+  PartitionerConfig one = base;
+  one.trials = 1;
+  const auto same = partition_hierarchy(h, 8, one);
+  EXPECT_EQ(same.levels, ref.levels);
+  EXPECT_EQ(same.finest_cut, ref.finest_cut);
+
+  PartitionerConfig four = base;
+  four.trials = 4;
+  const auto a = partition_hierarchy(h, 8, four);
+  const auto b = partition_hierarchy(h, 8, four);
+  EXPECT_EQ(a.levels, b.levels);  // deterministic for the seed
+  EXPECT_TRUE(is_complete(a.levels[0], 8));
+  EXPECT_EQ(a.finest_cut, edge_cut(g, a.levels[0]));
+
+  // Accounting shape: one per-trial work slot per trial for every region
+  // large enough to bisect (tiny regions skip the initial bisection).
+  ASSERT_EQ(a.step_trial_work.size(), a.step_work.size());
+  ASSERT_FALSE(a.step_trial_work.empty());
+  EXPECT_EQ(a.step_trial_work[0][0].size(), 4u);
+  for (std::size_t s = 0; s < a.step_trial_work.size(); ++s) {
+    ASSERT_EQ(a.step_trial_work[s].size(), a.step_work[s].size());
+    for (const auto& slots : a.step_trial_work[s]) {
+      EXPECT_TRUE(slots.empty() || slots.size() == 4u);
+    }
+  }
 }
 
 TEST(MlPart, SingleNodeGraphAllParts) {

@@ -118,6 +118,51 @@ PartitionerConfig config_with_threads(unsigned threads) {
   return cfg;
 }
 
+// Asserts every work slot of `run` — step_work, kway_work, and the
+// intra-bisection step_trial_work / step_pooled_work grids — is bitwise
+// identical to `reference`.
+void expect_same_work_grids(const HierarchyPartitioning& run,
+                            const HierarchyPartitioning& reference) {
+  EXPECT_TRUE(same_bits(run.work, reference.work));
+  ASSERT_EQ(run.step_work.size(), reference.step_work.size());
+  for (std::size_t s = 0; s < run.step_work.size(); ++s) {
+    ASSERT_EQ(run.step_work[s].size(), reference.step_work[s].size());
+    for (std::size_t r = 0; r < run.step_work[s].size(); ++r) {
+      EXPECT_TRUE(same_bits(run.step_work[s][r], reference.step_work[s][r]))
+          << "step " << s << " region " << r;
+    }
+  }
+  ASSERT_EQ(run.kway_work.size(), reference.kway_work.size());
+  for (std::size_t l = 0; l < run.kway_work.size(); ++l) {
+    EXPECT_TRUE(same_bits(run.kway_work[l], reference.kway_work[l]))
+        << "level " << l;
+  }
+  ASSERT_EQ(run.step_trial_work.size(), reference.step_trial_work.size());
+  for (std::size_t s = 0; s < run.step_trial_work.size(); ++s) {
+    ASSERT_EQ(run.step_trial_work[s].size(),
+              reference.step_trial_work[s].size());
+    for (std::size_t r = 0; r < run.step_trial_work[s].size(); ++r) {
+      const auto& rt = run.step_trial_work[s][r];
+      const auto& ft = reference.step_trial_work[s][r];
+      ASSERT_EQ(rt.size(), ft.size()) << "step " << s << " region " << r;
+      for (std::size_t t = 0; t < rt.size(); ++t) {
+        EXPECT_TRUE(same_bits(rt[t], ft[t]))
+            << "step " << s << " region " << r << " trial " << t;
+      }
+    }
+  }
+  ASSERT_EQ(run.step_pooled_work.size(), reference.step_pooled_work.size());
+  for (std::size_t s = 0; s < run.step_pooled_work.size(); ++s) {
+    ASSERT_EQ(run.step_pooled_work[s].size(),
+              reference.step_pooled_work[s].size());
+    for (std::size_t r = 0; r < run.step_pooled_work[s].size(); ++r) {
+      EXPECT_TRUE(same_bits(run.step_pooled_work[s][r],
+                            reference.step_pooled_work[s][r]))
+          << "step " << s << " region " << r;
+    }
+  }
+}
+
 TEST(PartitionThreads, ByteIdenticalAcrossWidths) {
   // Big enough that the pooled inner loops (>= 512-node gates) engage, not
   // just the fork_join recursion.
@@ -133,20 +178,35 @@ TEST(PartitionThreads, ByteIdenticalAcrossWidths) {
     const auto run = partition_hierarchy(h, k, config_with_threads(width));
     EXPECT_EQ(run.levels, reference.levels);
     EXPECT_EQ(run.finest_cut, reference.finest_cut);
-    EXPECT_TRUE(same_bits(run.work, reference.work));
-    ASSERT_EQ(run.step_work.size(), reference.step_work.size());
-    for (std::size_t s = 0; s < run.step_work.size(); ++s) {
-      ASSERT_EQ(run.step_work[s].size(), reference.step_work[s].size());
-      for (std::size_t r = 0; r < run.step_work[s].size(); ++r) {
-        EXPECT_TRUE(same_bits(run.step_work[s][r], reference.step_work[s][r]))
-            << "step " << s << " region " << r;
-      }
-    }
-    ASSERT_EQ(run.kway_work.size(), reference.kway_work.size());
-    for (std::size_t l = 0; l < run.kway_work.size(); ++l) {
-      EXPECT_TRUE(same_bits(run.kway_work[l], reference.kway_work[l]))
-          << "level " << l;
-    }
+    expect_same_work_grids(run, reference);
+  }
+}
+
+TEST(PartitionThreads, TrialsByteIdenticalAcrossWidths) {
+  // Multi-trial initial bisections: the trials of one region run
+  // concurrently on the pool (on top of fork_join siblings and the pooled
+  // KL loops), and the result — parts, cut, and every work slot including
+  // the per-trial grid — must still be byte-identical at every width.
+  const Graph g = random_graph(93, 1200, 2600);
+  const auto h = hierarchy_of(g);
+  const PartId k = 8;
+
+  PartitionerConfig ref_cfg = config_with_threads(1);
+  ref_cfg.trials = 4;
+  const auto reference = partition_hierarchy(h, k, ref_cfg);
+  ASSERT_EQ(reference.levels.size(), h.depth());
+  // The root region records one work slot per trial.
+  ASSERT_FALSE(reference.step_trial_work.empty());
+  EXPECT_EQ(reference.step_trial_work[0][0].size(), 4u);
+
+  for (const unsigned width : {2u, 4u, 8u}) {
+    SCOPED_TRACE(width);
+    PartitionerConfig cfg = config_with_threads(width);
+    cfg.trials = 4;
+    const auto run = partition_hierarchy(h, k, cfg);
+    EXPECT_EQ(run.levels, reference.levels);
+    EXPECT_EQ(run.finest_cut, reference.finest_cut);
+    expect_same_work_grids(run, reference);
   }
 }
 
@@ -157,6 +217,22 @@ TEST(PartitionThreads, PooledDriverMatchesMprDriver) {
   const auto h = hierarchy_of(g);
   const auto pooled = partition_hierarchy(h, 8, config_with_threads(4));
   const auto mpr = partition_hierarchy_parallel(h, 8, config_with_threads(4), 3);
+  ASSERT_EQ(mpr.partitioning.levels.size(), pooled.levels.size());
+  for (std::size_t l = 0; l < pooled.levels.size(); ++l) {
+    EXPECT_EQ(mpr.partitioning.levels[l], pooled.levels[l]) << "level " << l;
+  }
+  EXPECT_EQ(mpr.partitioning.finest_cut, pooled.finest_cut);
+}
+
+TEST(PartitionThreads, TrialsPooledDriverMatchesMprDriver) {
+  // Multi-trial selection is a pure function of (seed, region, trial) with a
+  // total-order winner, so both drivers must pick the same trial everywhere.
+  const Graph g = random_graph(94, 300, 700);
+  const auto h = hierarchy_of(g);
+  PartitionerConfig cfg = config_with_threads(4);
+  cfg.trials = 3;
+  const auto pooled = partition_hierarchy(h, 8, cfg);
+  const auto mpr = partition_hierarchy_parallel(h, 8, cfg, 3);
   ASSERT_EQ(mpr.partitioning.levels.size(), pooled.levels.size());
   for (std::size_t l = 0; l < pooled.levels.size(); ++l) {
     EXPECT_EQ(mpr.partitioning.levels[l], pooled.levels[l]) << "level " << l;

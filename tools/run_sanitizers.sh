@@ -3,7 +3,8 @@
 # AddressSanitizer+UndefinedBehaviorSanitizer — so the seed-backend
 # equivalence suite (hashed k-mer index vs suffix-array oracle, packed-read
 # bit manipulation, two-pass NW scratch reuse), the partitioner determinism
-# suite (fork_join recursion, pooled KL/k-way scoring, byte-identical
+# suite (fork_join recursion, pooled KL/k-way scoring, concurrent
+# multi-trial initial bisections, the chunked KL pair search, byte-identical
 # partitions across thread widths), and the fault-injection suite (label
 # `fault`: crash-at-every-op recovery sweep, 50-seed mixed-fault stress of
 # the runtime's timeout/CRC detection paths) are exercised under both

@@ -10,7 +10,13 @@
 //   * single-thread end-to-end overlap detection for both seed backends
 //     (reads/s and verified-overlaps/s), with the hash-vs-suffix-array
 //     speedup — the suffix-array path is the pre-overhaul kernel;
-//   * the hashed backend on the work-stealing pool at 1/2/4/8 threads.
+//   * the hashed backend on the work-stealing pool at 1/2/4/8 threads;
+//   * modeled overlap-stage scaling at 1/2/4/8 mpr ranks: virtual-time
+//     makespans of the all-pairs pair-striping driver vs the sharded
+//     distributed-index protocol (DESIGN.md §6c). Wall clocks on this
+//     single-core host are flat across rank counts by construction — the
+//     vtime task model is what exposes the scaling, and both drivers'
+//     outputs are identity-checked against the reference first.
 // Every timed run is checked byte-identical against the suffix-array serial
 // reference before its timing is reported. Exit status is nonzero if any
 // equivalence or zero-allocation check fails, so the smoke invocation doubles
@@ -243,6 +249,36 @@ int main(int argc, char** argv) {
     pool_runs.push_back(timed_run(reads, cfg, repeats, reference.size()));
   }
 
+  // 4 — modeled overlap-stage scaling over mpr ranks. Both strategies'
+  // makespans come from the same virtual-time cost model, so the comparison
+  // is strategy-vs-strategy, not confounded by host parallelism; speedups
+  // are each strategy's own 1-rank makespan over its n-rank makespan.
+  struct ModeledRun {
+    int ranks = 0;
+    double all_pairs_makespan = 0.0;
+    double distributed_makespan = 0.0;
+  };
+  std::vector<ModeledRun> modeled_runs;
+  cfg.threads = 1;
+  for (const unsigned width : kWidths) {
+    ModeledRun m;
+    m.ranks = static_cast<int>(width);
+    cfg.strategy = align::SeedStrategy::kAllPairs;
+    {
+      const auto r = align::find_overlaps_parallel(reads, cfg, m.ranks);
+      all_identical &= same_overlaps(r.overlaps, reference);
+      m.all_pairs_makespan = r.stats.makespan;
+    }
+    cfg.strategy = align::SeedStrategy::kDistributedIndex;
+    {
+      const auto r = align::find_overlaps_parallel(reads, cfg, m.ranks);
+      all_identical &= same_overlaps(r.overlaps, reference);
+      m.distributed_makespan = r.stats.makespan;
+    }
+    modeled_runs.push_back(m);
+  }
+  cfg.strategy = align::SeedStrategy::kAllPairs;
+
   const bool zero_alloc =
       probe.full_pass_allocs == 0 && probe.score_pass_allocs == 0;
 
@@ -283,7 +319,17 @@ int main(int argc, char** argv) {
     std::printf("    %u threads: %10.3f s %12.0f reads/s\n", kWidths[w],
                 pool_runs[w].seconds, pool_runs[w].reads_per_s);
   }
-  std::printf("  output identical across backends/widths: %s\n",
+  std::printf("  modeled overlap-stage scaling (vtime makespan):\n");
+  std::printf("    %6s %14s %10s %14s %10s\n", "ranks", "all-pairs", "spdup",
+              "distributed", "spdup");
+  for (const auto& m : modeled_runs) {
+    std::printf("    %6d %14.6f %9.2fx %14.6f %9.2fx\n", m.ranks,
+                m.all_pairs_makespan,
+                modeled_runs[0].all_pairs_makespan / m.all_pairs_makespan,
+                m.distributed_makespan,
+                modeled_runs[0].distributed_makespan / m.distributed_makespan);
+  }
+  std::printf("  output identical across backends/widths/strategies: %s\n",
               all_identical ? "yes" : "NO (BUG)");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -329,6 +375,21 @@ int main(int argc, char** argv) {
                  "\"reads_per_s\": %.1f}%s\n",
                  kWidths[w], pool_runs[w].seconds, pool_runs[w].reads_per_s,
                  w + 1 < pool_runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"modeled_overlap_scaling\": [\n");
+  for (std::size_t w = 0; w < modeled_runs.size(); ++w) {
+    const auto& m = modeled_runs[w];
+    std::fprintf(
+        f,
+        "    {\"ranks\": %d, \"all_pairs_makespan\": %.9f, "
+        "\"all_pairs_speedup\": %.3f, \"distributed_makespan\": %.9f, "
+        "\"distributed_speedup\": %.3f}%s\n",
+        m.ranks, m.all_pairs_makespan,
+        modeled_runs[0].all_pairs_makespan / m.all_pairs_makespan,
+        m.distributed_makespan,
+        modeled_runs[0].distributed_makespan / m.distributed_makespan,
+        w + 1 < modeled_runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -9,15 +9,15 @@
 
 namespace focus::align {
 
-namespace {
-
 // splitmix64 finalizer: a cheap, well-mixed hash for packed k-mer keys.
-std::uint64_t mix64(std::uint64_t x) {
+std::uint64_t kmer_hash(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+namespace {
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -34,11 +34,6 @@ KmerIndex::KmerIndex(const io::ReadSet& reads,
   FOCUS_CHECK(members.size() <= std::numeric_limits<std::uint32_t>::max(),
               "too many members for 32-bit posting indices");
 
-  struct Entry {
-    std::uint64_t key;
-    std::uint32_t member;
-    std::uint32_t pos;
-  };
   std::vector<Entry> entries;
   std::size_t total_bases = 0;
   for (const ReadId id : members) total_bases += reads[id].seq.size();
@@ -57,6 +52,16 @@ KmerIndex::KmerIndex(const io::ReadSet& reads,
     }
   }
 
+  build(std::move(entries));
+  build_work_ += static_cast<double>(total_bases);  // packing + extraction
+}
+
+KmerIndex::KmerIndex(std::vector<Entry> entries, unsigned k) : k_(k) {
+  FOCUS_CHECK(k >= 1 && k <= 32, "KmerIndex requires 1 <= k <= 32");
+  build(std::move(entries));
+}
+
+void KmerIndex::build(std::vector<Entry> entries) {
   // (key, member, pos) order: deterministic bucket iteration, postings within
   // a bucket in member order then position order.
   std::sort(entries.begin(), entries.end(),
@@ -81,7 +86,7 @@ KmerIndex::KmerIndex(const io::ReadSet& reads,
       const bool last_of_key =
           i + 1 == entries.size() || entries[i + 1].key != entries[i].key;
       if (!last_of_key) continue;
-      std::size_t slot = mix64(entries[i].key) & table_mask_;
+      std::size_t slot = kmer_hash(entries[i].key) & table_mask_;
       while (table_[slot].count != 0) slot = (slot + 1) & table_mask_;
       table_[slot].key = entries[i].key;
       table_[slot].begin = static_cast<std::uint32_t>(bucket_begin);
@@ -90,17 +95,16 @@ KmerIndex::KmerIndex(const io::ReadSet& reads,
     }
   }
 
-  // Build cost: O(n) packing/extraction, O(n log n) posting sort, O(d) table
-  // fill — the terms a real implementation pays.
+  // Build cost: O(n log n) posting sort + O(d) table fill — the terms a real
+  // implementation pays. The read-set constructor adds its extraction scan.
   const double n = static_cast<double>(entries.size());
-  build_work_ = static_cast<double>(total_bases) + n * std::log2(n + 2.0) +
-                static_cast<double>(distinct_);
+  build_work_ = n * std::log2(n + 2.0) + static_cast<double>(distinct_);
 }
 
 std::pair<const KmerIndex::Posting*, const KmerIndex::Posting*> KmerIndex::find(
     std::uint64_t key) const {
   if (table_.empty()) return {nullptr, nullptr};
-  std::size_t slot = mix64(key) & table_mask_;
+  std::size_t slot = kmer_hash(key) & table_mask_;
   while (table_[slot].count != 0) {
     if (table_[slot].key == key) {
       const Posting* first = postings_.data() + table_[slot].begin;

@@ -21,6 +21,17 @@
 // Subset pairs are independent, which is the parallelism the paper exploits:
 // find_overlaps_parallel() distributes pairs over mpr ranks and gathers the
 // results at rank 0.
+//
+// Pair generation itself is a pluggable strategy (OverlapperConfig::strategy):
+//   * SeedStrategy::kAllPairs — the paper's O(s²) subset-pair enumeration
+//     described above.
+//   * SeedStrategy::kDistributedIndex — one k-mer index sharded by key hash
+//     across mpr ranks (shard_index.hpp, DESIGN.md §6c): postings and query
+//     probes are routed to the key's owner in batched all-to-all rounds,
+//     candidate pairs to the rank owning the reference read for banded-NW
+//     verification, and rank 0 merges through the same dedupe_overlaps()
+//     total order — so the output is byte-identical to the all-pairs path
+//     while each read is indexed and each query is seeded exactly once.
 #pragma once
 
 #include <optional>
@@ -29,6 +40,7 @@
 #include "align/align_scratch.hpp"
 #include "align/kmer_index.hpp"
 #include "align/overlap.hpp"
+#include "align/shard_index.hpp"
 #include "align/suffix_array.hpp"
 #include "io/read.hpp"
 #include "mpr/runtime.hpp"
@@ -40,6 +52,17 @@ enum class SeedBackend {
   kKmerHash,     ///< hashed postings over 2-bit packed k-mers (fast path)
   kSuffixArray,  ///< the paper's suffix array (reference oracle)
 };
+
+/// How candidate (query, reference) pairs are generated.
+enum class SeedStrategy {
+  kAllPairs,          ///< per-subset-pair indexing, O(s²) subset pairs
+  kDistributedIndex,  ///< mpr-sharded k-mer index, batched lookup rounds
+};
+
+/// FOCUS_SEED_STRATEGY env override: "all-pairs"/"allpairs" or
+/// "distributed"/"distributed-index"; unset/empty keeps the default
+/// (all-pairs). Any other value throws — a typo must not silently fall back.
+SeedStrategy seed_strategy_from_env();
 
 struct OverlapperConfig {
   /// Seed k-mer length.
@@ -66,6 +89,11 @@ struct OverlapperConfig {
   /// the hash backend replaces each O(k log n) suffix-array lookup with an
   /// O(1) expected hash probe.
   SeedBackend seed_backend = SeedBackend::kKmerHash;
+  /// Candidate-pair generation strategy (distributed drivers only; the
+  /// serial and pooled all-pairs entry points ignore it). Both strategies
+  /// produce byte-identical overlap sets. Defaults to the FOCUS_SEED_STRATEGY
+  /// env override, else all-pairs.
+  SeedStrategy strategy = seed_strategy_from_env();
 };
 
 /// Seed index over one reference subset, backed by either a hashed k-mer
@@ -149,12 +177,54 @@ struct ParallelOverlapResult {
   mpr::RunStats stats;
 };
 
-/// Distributes subset pairs across `nranks` mpr ranks; rank 0 gathers and
+/// Distributes work across `nranks` mpr ranks; rank 0 gathers and
 /// deduplicates. Produces the same overlap set as find_overlaps_serial.
+/// Dispatches on config.strategy: all-pairs stripes subset pairs over ranks;
+/// distributed-index runs the sharded protocol (find_overlaps_sharded).
 ParallelOverlapResult find_overlaps_parallel(const io::ReadSet& reads,
                                              const OverlapperConfig& config,
                                              int nranks,
                                              mpr::CostModel cost = {});
+
+/// Distributed-index overlap discovery on the mpr runtime: each rank owns the
+/// k-mer shard hash(key) % nranks and a contiguous stripe of reads. Three
+/// batched all-to-all rounds (postings -> shard build, query probes -> seed
+/// hits, hits -> verification at the reference owner's rank) followed by a
+/// gather at rank 0 and dedupe_overlaps(). Byte-identical to
+/// find_overlaps_serial for every nranks (tests/overlap_dist_test.cpp).
+ParallelOverlapResult find_overlaps_sharded(const io::ReadSet& reads,
+                                            const OverlapperConfig& config,
+                                            int nranks,
+                                            mpr::CostModel cost = {});
+
+/// Single-threaded reference of the distributed-index pipeline: one shard
+/// over all reads, every read queried once, same verification order as the
+/// sharded protocol. Exists so the equivalence tests can pin the strategy's
+/// semantics without spinning up the runtime.
+std::vector<Overlap> find_overlaps_distributed_serial(
+    const io::ReadSet& reads, const OverlapperConfig& config,
+    double* work = nullptr);
+
+/// Verifies a batch of raw seed hits: sorts by (query, ref, diag), groups by
+/// (query, ref) pair, runs consensus-diagonal + banded-NW acceptance per
+/// group — the same per-pair decision the all-pairs query loop makes — and
+/// appends accepted overlaps to `out`. Duplicate candidate pairs from
+/// multi-seed hits collapse into one group, hence exactly one verification.
+void verify_seed_hits(const io::ReadSet& reads, std::vector<SeedHit> hits,
+                      const OverlapperConfig& config, std::vector<Overlap>& out,
+                      double* work = nullptr);
+
+/// Runs the distributed-index seeding + verification for query reads
+/// [q_begin, q_end) against a shard holding ALL postings (single-shard
+/// layout). The unit of replay for the fault-tolerant overlap driver
+/// (dist/parallel.cpp): pure in its inputs, so a re-executed block
+/// reproduces its records exactly.
+void distributed_block_overlaps(const io::ReadSet& reads,
+                                const KmerShard& shard,
+                                const SubsetRanges& subsets, ReadId q_begin,
+                                ReadId q_end, const OverlapperConfig& config,
+                                std::vector<Overlap>& out,
+                                double* work = nullptr);
 
 /// Removes duplicate records of the same read pair, keeping the longest
 /// (then highest-identity) overlap, all in canonical orientation.

@@ -1,0 +1,133 @@
+#include "align/shard_index.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/packed_seq.hpp"
+
+namespace focus::align {
+
+SubsetRanges::SubsetRanges(const std::vector<std::vector<ReadId>>& subsets) {
+  FOCUS_CHECK(!subsets.empty(), "need at least one subset");
+  bounds_.reserve(subsets.size() + 1);
+  bounds_.push_back(0);
+  for (const auto& subset : subsets) {
+    ReadId next = bounds_.back();
+    for (const ReadId id : subset) {
+      FOCUS_CHECK(id == next, "subsets must be contiguous ascending ranges");
+      ++next;
+    }
+    bounds_.push_back(next);
+  }
+}
+
+std::uint32_t SubsetRanges::subset_of(ReadId id) const {
+  FOCUS_ASSERT(id < total_reads(), "read id outside every subset");
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), id) - 1;
+  return static_cast<std::uint32_t>(it - bounds_.begin());
+}
+
+int shard_owner(std::uint64_t key, int nranks) {
+  FOCUS_ASSERT(nranks >= 1, "shard_owner needs at least one rank");
+  return static_cast<int>(kmer_hash(key) %
+                          static_cast<std::uint64_t>(nranks));
+}
+
+namespace {
+
+/// Shared scan shape of both extractors: visits every clean k-mer of reads
+/// [begin, end) with its (read, pos, key) and charges one unit per base.
+template <typename Emit>
+void for_each_clean_kmer(const io::ReadSet& reads, ReadId begin, ReadId end,
+                         unsigned k, double* work, Emit&& emit) {
+  dna::PackedSeq packed;
+  for (ReadId id = begin; id < end; ++id) {
+    const std::string& seq = reads[id].seq;
+    if (work != nullptr) *work += static_cast<double>(seq.size());
+    if (seq.size() < k) continue;
+    packed.assign(seq);
+    std::uint64_t key;
+    for (std::size_t pos = 0; pos + k <= seq.size(); ++pos) {
+      if (!packed.kmer_at(pos, k, key)) continue;
+      emit(id, static_cast<std::uint32_t>(pos), key);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<ShardPosting>> extract_shard_postings(
+    const io::ReadSet& reads, ReadId begin, ReadId end, unsigned k,
+    int nranks, double* work) {
+  std::vector<std::vector<ShardPosting>> out(
+      static_cast<std::size_t>(nranks));
+  for_each_clean_kmer(reads, begin, end, k, work,
+                      [&](ReadId id, std::uint32_t pos, std::uint64_t key) {
+                        out[static_cast<std::size_t>(shard_owner(key, nranks))]
+                            .push_back({key, id, pos});
+                      });
+  return out;
+}
+
+std::vector<std::vector<QueryProbe>> extract_query_probes(
+    const io::ReadSet& reads, ReadId begin, ReadId end, unsigned k,
+    int nranks, double* work) {
+  std::vector<std::vector<QueryProbe>> out(static_cast<std::size_t>(nranks));
+  for_each_clean_kmer(reads, begin, end, k, work,
+                      [&](ReadId id, std::uint32_t pos, std::uint64_t key) {
+                        out[static_cast<std::size_t>(shard_owner(key, nranks))]
+                            .push_back({key, id, pos});
+                      });
+  return out;
+}
+
+KmerShard::KmerShard(std::vector<ShardPosting> postings, unsigned k)
+    : index_(
+          [&] {
+            std::vector<KmerIndex::Entry> entries;
+            entries.reserve(postings.size());
+            for (const ShardPosting& p : postings) {
+              entries.push_back({p.key, p.ref, p.pos});
+            }
+            return entries;
+          }(),
+          k) {}
+
+void KmerShard::collect_hits(const QueryProbe& probe,
+                             const SubsetRanges& subsets, std::size_t max_occ,
+                             std::vector<SeedHit>& out, double* work) const {
+  if (work != nullptr) *work += 1.0;  // one O(1) expected hash probe
+  const auto [first, last] = index_.find(probe.key);
+  if (first == last) return;
+
+  // Postings are sorted by (ref, pos) and subsets are contiguous ReadId
+  // ranges, so each subset's postings form one subrange. Walk the subranges
+  // at or above the query's subset, applying the all-pairs repeat mask per
+  // subset: this key is skipped for a subset iff that subset alone holds
+  // more than max_occ occurrences — exactly what the per-subset RefIndex of
+  // the all-pairs path would decide.
+  const std::uint32_t query_subset = subsets.subset_of(probe.query);
+  const KmerIndex::Posting* p = std::lower_bound(
+      first, last, subsets.begin(query_subset),
+      [](const KmerIndex::Posting& a, ReadId bound) { return a.member < bound; });
+  while (p != last) {
+    const std::uint32_t s = subsets.subset_of(p->member);
+    const KmerIndex::Posting* sub_end = std::lower_bound(
+        p, last, subsets.end(s),
+        [](const KmerIndex::Posting& a, ReadId bound) {
+          return a.member < bound;
+        });
+    if (static_cast<std::size_t>(sub_end - p) <= max_occ) {
+      for (; p != sub_end; ++p) {
+        if (p->member == probe.query) continue;  // self-hit
+        out.push_back({probe.query, p->member,
+                       static_cast<std::int64_t>(probe.qpos) -
+                           static_cast<std::int64_t>(p->pos)});
+        if (work != nullptr) *work += 1.0;
+      }
+    }
+    p = sub_end;
+  }
+}
+
+}  // namespace focus::align

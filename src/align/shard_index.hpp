@@ -1,0 +1,120 @@
+// Sharded k-mer seed index for distributed overlap discovery (DESIGN.md §6c).
+//
+// The all-pairs overlapper (overlapper.hpp) re-indexes every reference subset
+// on every rank that processes one of its subset pairs — O(s²) subset pairs
+// of work. The distributed-index strategy builds ONE k-mer index over all
+// reads, sharded across mpr ranks by key hash: shard_owner(key, ranks) is a
+// pure function of the key, so every posting and every query probe for a key
+// lands on the same rank, and that rank alone can answer lookups for it.
+//
+// Byte-identity with the all-pairs path hinges on one invariant: repeat
+// masking (OverlapperConfig::max_kmer_occurrences) is applied PER REFERENCE
+// SUBSET, exactly as each all-pairs RefIndex would. Because preprocessing
+// splits reads into contiguous ReadId ranges (io::split_into_subsets), a
+// bucket sorted by (key, read, pos) keeps each subset's postings contiguous,
+// so per-subset occurrence counts are a subrange length — and because a key's
+// postings are never split across shards, those counts are shard-local facts.
+//
+// The query side replicates the all-pairs pair enumeration (i <= j): a query
+// read in subset s only collects hits against reference reads in subsets
+// >= s. Together with per-subset masking and the self-hit skip this makes the
+// distributed seed-hit multiset per (query, reference) pair equal to the
+// all-pairs one, hence the same candidates, the same consensus diagonals, the
+// same banded-NW verifications, and byte-identical deduped output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/kmer_index.hpp"
+#include "common/types.hpp"
+#include "io/read.hpp"
+
+namespace focus::align {
+
+/// Contiguous subset boundaries: subset s covers ReadId [begin(s), end(s)).
+/// Built from io::split_into_subsets output; rejects non-contiguous splits.
+class SubsetRanges {
+ public:
+  explicit SubsetRanges(const std::vector<std::vector<ReadId>>& subsets);
+
+  std::size_t count() const { return bounds_.size() - 1; }
+  ReadId begin(std::size_t s) const { return bounds_[s]; }
+  ReadId end(std::size_t s) const { return bounds_[s + 1]; }
+  ReadId total_reads() const { return bounds_.back(); }
+
+  /// Subset containing `id` (binary search over the boundaries).
+  std::uint32_t subset_of(ReadId id) const;
+
+ private:
+  std::vector<ReadId> bounds_;  // size count()+1, ascending, bounds_[0] == 0
+};
+
+/// Owning rank of a k-mer key: kmer_hash(key) % nranks. Pure in (key,
+/// nranks) — the property the shard-routing tests pin down.
+int shard_owner(std::uint64_t key, int nranks);
+
+/// A reference posting routed to its key's shard. `ref` is the global
+/// ReadId (doubling as the KmerIndex member), `pos` the base offset.
+struct ShardPosting {
+  std::uint64_t key;
+  std::uint32_t ref;
+  std::uint32_t pos;
+};
+static_assert(sizeof(ShardPosting) == 16, "no padding: shipped as raw bytes");
+
+/// One query k-mer routed to its key's shard.
+struct QueryProbe {
+  std::uint64_t key;
+  ReadId query;
+  std::uint32_t qpos;
+};
+static_assert(sizeof(QueryProbe) == 16, "no padding: shipped as raw bytes");
+
+/// An unmasked seed hit, routed to the rank owning the reference read.
+struct SeedHit {
+  ReadId query;
+  ReadId ref;
+  std::int64_t diag;  // qpos - rpos
+};
+static_assert(sizeof(SeedHit) == 16, "no padding: shipped as raw bytes");
+
+/// Extracts every clean k-mer posting of reads [begin, end) and buckets it
+/// by owning shard rank. `work` accumulates one unit per base scanned.
+std::vector<std::vector<ShardPosting>> extract_shard_postings(
+    const io::ReadSet& reads, ReadId begin, ReadId end, unsigned k,
+    int nranks, double* work = nullptr);
+
+/// Buckets every clean k-mer of query reads [begin, end) by owning shard
+/// rank. Reads shorter than k contribute nothing (they can never be a query
+/// in the all-pairs path either). `work`: one unit per base scanned.
+std::vector<std::vector<QueryProbe>> extract_query_probes(
+    const io::ReadSet& reads, ReadId begin, ReadId end, unsigned k,
+    int nranks, double* work = nullptr);
+
+/// One rank's shard: a KmerIndex over whatever postings were routed here.
+class KmerShard {
+ public:
+  /// `postings` in any order; the index build canonicalizes. An empty vector
+  /// is a valid (always-miss) shard — the degenerate case when fewer distinct
+  /// keys than ranks exist.
+  KmerShard(std::vector<ShardPosting> postings, unsigned k);
+
+  /// Appends every unmasked seed hit for `probe` to `out`, applying the
+  /// all-pairs semantics: per-reference-subset masking (a subset whose
+  /// occurrence count for this key exceeds `max_occ` contributes no hits),
+  /// reference subsets >= the query's subset only, and the self-hit skip.
+  /// `work`: one unit per probe plus one per emitted hit (the all-pairs
+  /// query loop charges the same shape).
+  void collect_hits(const QueryProbe& probe, const SubsetRanges& subsets,
+                    std::size_t max_occ, std::vector<SeedHit>& out,
+                    double* work = nullptr) const;
+
+  const KmerIndex& index() const { return index_; }
+  double build_work() const { return index_.build_work(); }
+
+ private:
+  KmerIndex index_;
+};
+
+}  // namespace focus::align

@@ -41,7 +41,19 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
 
   // --- Stage 2: parallel read alignment (§II-B). --------------------------
   wall.restart();
-  {
+  if (config_.overlap.strategy == align::SeedStrategy::kDistributedIndex) {
+    // The distributed-index driver sits behind the fault envelope: an active
+    // fault plan covers the overlap phase with the same replay recovery as
+    // the graph stages.
+    auto aligned =
+        dist::overlap_parallel(result.reads, config_.overlap, config_.ranks,
+                               config_.cost, config_.fault_plan, config_.fault);
+    result.overlaps = std::move(aligned.overlaps);
+    StageTiming t;
+    t.wall = wall.seconds();
+    t.vtime = aligned.run.makespan;
+    result.timings["2-align"] = t;
+  } else {
     auto aligned = align::find_overlaps_parallel(result.reads, config_.overlap,
                                                  config_.ranks, config_.cost);
     result.overlaps = std::move(aligned.overlaps);

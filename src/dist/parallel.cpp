@@ -1,11 +1,13 @@
 #include "dist/parallel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <optional>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "io/preprocess.hpp"
 
 namespace focus::dist {
 
@@ -646,6 +648,108 @@ ParallelTraverseResult traverse_parallel(const AsmGraph& g,
         comm.barrier();
       },
       cost);
+  return out;
+}
+
+namespace {
+
+/// Query reads per fault-tolerant overlap partition. Fixed so the block
+/// decomposition — and therefore the canonical record order — is a pure
+/// function of the read count, independent of rank count and faults.
+constexpr std::size_t kFtQueryBlock = 64;
+
+void ft_overlap_master(mpr::Comm& comm, const io::ReadSet& reads,
+                       const align::KmerShard& shard,
+                       const align::SubsetRanges& subsets,
+                       const align::OverlapperConfig& config, PartId nparts,
+                       const mpr::FaultConfig& fault,
+                       std::vector<align::Overlap>* overlaps) {
+  const std::size_t n = reads.size();
+  FtMasterState st;
+  st.live.assign(static_cast<std::size_t>(comm.size()), 1);
+  auto recs = ft_collect_phase<std::vector<align::Overlap>>(
+      comm, st, nparts, 0, fault,
+      [&](std::uint32_t p, double* work) {
+        std::vector<align::Overlap> out;
+        const std::size_t begin = p * kFtQueryBlock;
+        const std::size_t end = std::min(n, begin + kFtQueryBlock);
+        align::distributed_block_overlaps(
+            reads, shard, subsets, static_cast<ReadId>(begin),
+            static_cast<ReadId>(end), config, out, work);
+        return out;
+      },
+      [](mpr::Message& m) { return m.unpack_vector<align::Overlap>(); });
+  std::vector<align::Overlap> all;
+  for (auto& r : recs) all.insert(all.end(), r.begin(), r.end());
+  comm.charge(static_cast<double>(all.size()) *
+              std::log2(static_cast<double>(all.size()) + 2.0));
+  *overlaps = align::dedupe_overlaps(std::move(all));
+  ft_shutdown_workers(comm, st);
+}
+
+void ft_overlap_worker(mpr::Comm& comm, const io::ReadSet& reads,
+                       const align::KmerShard& shard,
+                       const align::SubsetRanges& subsets,
+                       const align::OverlapperConfig& config) {
+  const std::size_t n = reads.size();
+  ft_worker_loop(comm, [&](std::uint32_t phase, std::uint32_t p,
+                           mpr::Message& frame, double* work) {
+    FOCUS_CHECK(phase == 0, "unknown overlap phase in scan command");
+    std::vector<align::Overlap> out;
+    const std::size_t begin = p * kFtQueryBlock;
+    const std::size_t end = std::min(n, begin + kFtQueryBlock);
+    align::distributed_block_overlaps(reads, shard, subsets,
+                                      static_cast<ReadId>(begin),
+                                      static_cast<ReadId>(end), config, out,
+                                      work);
+    frame.pack_vector(out);
+  });
+}
+
+}  // namespace
+
+ParallelOverlapResult overlap_parallel(const io::ReadSet& reads,
+                                       const align::OverlapperConfig& config,
+                                       int nranks, mpr::CostModel cost,
+                                       const mpr::FaultPlan& fault_plan,
+                                       const mpr::FaultConfig& fault) {
+  if (fault_plan.empty()) {
+    auto r = align::find_overlaps_sharded(reads, config, nranks, cost);
+    return {std::move(r.overlaps), r.stats};
+  }
+
+  FOCUS_CHECK(nranks >= 1, "need at least one rank");
+  FOCUS_CHECK(config.subsets > 0, "subset count must be positive");
+  FOCUS_CHECK(config.k >= 8 && config.k <= 32, "seed k must be in [8, 32]");
+  const std::size_t n = reads.size();
+  const auto nparts =
+      static_cast<PartId>((n + kFtQueryBlock - 1) / kFtQueryBlock);
+
+  ParallelOverlapResult out;
+  out.run = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        // Replicated single-shard layout: under faults any surviving rank
+        // may be asked to replay any query block, so every rank holds the
+        // full index — trading memory for the ability to reassign blocks
+        // without a shard-recovery round.
+        double build_work = 0.0;
+        auto postings = align::extract_shard_postings(
+            reads, 0, static_cast<ReadId>(n), config.k, 1, &build_work);
+        const align::KmerShard shard(std::move(postings[0]), config.k);
+        build_work += shard.build_work();
+        comm.charge(build_work);
+        const align::SubsetRanges subsets(
+            io::split_into_subsets(n, config.subsets));
+
+        if (comm.rank() == 0) {
+          ft_overlap_master(comm, reads, shard, subsets, config, nparts,
+                            fault, &out.overlaps);
+        } else {
+          ft_overlap_worker(comm, reads, shard, subsets, config);
+        }
+      },
+      cost, fault_plan);
   return out;
 }
 

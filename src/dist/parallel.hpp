@@ -19,6 +19,7 @@
 
 #include <span>
 
+#include "align/overlapper.hpp"
 #include "dist/simplify.hpp"
 #include "dist/traverse.hpp"
 #include "mpr/runtime.hpp"
@@ -71,5 +72,24 @@ ParallelTraverseResult traverse_parallel(const AsmGraph& g,
                                          unsigned threads = 1,
                                          const mpr::FaultPlan& fault_plan = {},
                                          const mpr::FaultConfig& fault = {});
+
+struct ParallelOverlapResult {
+  std::vector<align::Overlap> overlaps;
+  mpr::RunStats run;
+};
+
+/// Distributed-index overlap discovery with the drivers' fault envelope.
+/// With an empty plan this is align::find_overlaps_sharded verbatim (the
+/// symmetric three-round protocol). With a plan, the master/worker protocol
+/// runs instead: every rank holds the full replicated k-mer index, query
+/// blocks of kFtQueryBlock reads are the replayable partitions, and
+/// ft_collect_phase re-executes a block on whichever rank survives — blocks
+/// are pure functions of (reads, config), so a recovered run reproduces the
+/// exact fault-free overlap set (tests/mpr_fault_test.cpp).
+ParallelOverlapResult overlap_parallel(const io::ReadSet& reads,
+                                       const align::OverlapperConfig& config,
+                                       int nranks, mpr::CostModel cost = {},
+                                       const mpr::FaultPlan& fault_plan = {},
+                                       const mpr::FaultConfig& fault = {});
 
 }  // namespace focus::dist

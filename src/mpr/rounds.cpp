@@ -1,0 +1,34 @@
+#include "mpr/rounds.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace focus::mpr {
+
+std::vector<Message> alltoall_round(Comm& comm, std::vector<Message> outgoing,
+                                    int tag) {
+  const int size = comm.size();
+  const Rank self = comm.rank();
+  FOCUS_CHECK(outgoing.size() == static_cast<std::size_t>(size),
+              "alltoall_round needs one outgoing message per rank");
+
+  std::vector<Message> incoming(static_cast<std::size_t>(size));
+  // Self slot: local copy, no network, no fault surface (matches MPI).
+  incoming[static_cast<std::size_t>(self)] =
+      std::move(outgoing[static_cast<std::size_t>(self)]);
+
+  // Eager sends first — no receive can block a peer's send.
+  for (int d = 0; d < size; ++d) {
+    if (d == self) continue;
+    comm.send(d, tag, std::move(outgoing[static_cast<std::size_t>(d)]));
+  }
+  // Drain in ascending source order: the one canonical merge order.
+  for (int s = 0; s < size; ++s) {
+    if (s == self) continue;
+    incoming[static_cast<std::size_t>(s)] = comm.recv(s, tag);
+  }
+  return incoming;
+}
+
+}  // namespace focus::mpr

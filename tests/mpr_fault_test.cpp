@@ -9,8 +9,10 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dist/parallel.hpp"
+#include "io/preprocess.hpp"
 #include "mpr/fault.hpp"
 #include "mpr/runtime.hpp"
+#include "sim/datasets.hpp"
 
 namespace focus {
 namespace {
@@ -412,6 +414,94 @@ TEST(DistFault, RetriesExhaustedThrows) {
   mpr::FaultConfig fault;
   fault.max_retries = 0;  // …and no replay is allowed
   EXPECT_THROW(run_drivers(3, plan, fault), Error);
+}
+
+// --- Fault-tolerant distributed-index overlap driver ------------------------
+
+/// Small simulated read set (~100 preprocessed reads): two query blocks of
+/// the FT overlap driver, enough for reassignments to move real work.
+const io::ReadSet& overlap_fault_reads() {
+  static const io::ReadSet reads = [] {
+    const sim::Dataset d = sim::make_dataset(1, /*scale=*/0.13,
+                                             /*coverage=*/3.0);
+    return io::preprocess(d.data.reads, {});
+  }();
+  return reads;
+}
+
+std::vector<align::Overlap> run_overlap_driver(
+    int nranks, const mpr::FaultPlan& plan = {},
+    const mpr::FaultConfig& fault = {}) {
+  return dist::overlap_parallel(overlap_fault_reads(), align::OverlapperConfig{},
+                                nranks, {}, plan, fault)
+      .overlaps;
+}
+
+void expect_same_overlaps(const std::vector<align::Overlap>& got,
+                          const std::vector<align::Overlap>& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].query == want[i].query && got[i].ref == want[i].ref &&
+                got[i].length == want[i].length &&
+                got[i].identity == want[i].identity &&
+                got[i].kind == want[i].kind)
+        << context << " record " << i;
+  }
+}
+
+TEST(OverlapFault, EmptyPlanMatchesAllPairsAndShardedPaths) {
+  // The FT envelope with no plan is the sharded fast path; both must equal
+  // the all-pairs serial reference on the same reads.
+  const auto want =
+      align::find_overlaps_serial(overlap_fault_reads(), align::OverlapperConfig{});
+  for (const int nranks : {1, 3}) {
+    expect_same_overlaps(run_overlap_driver(nranks), want,
+                         "fault-free ranks " + std::to_string(nranks));
+  }
+}
+
+// Crash a single worker at every op position it can reach during the overlap
+// phase; the recovered overlap set must be exactly the fault-free one.
+TEST(OverlapFault, CrashAtEveryWorkerOpRecoversExactOverlaps) {
+  const int nranks = 3;
+  const auto want = run_overlap_driver(nranks);
+  for (Rank worker = 1; worker < nranks; ++worker) {
+    for (std::uint64_t op = 1; op <= 6; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({worker, op});
+      const auto got = run_overlap_driver(nranks, plan);
+      expect_same_overlaps(got, want,
+                           "worker " + std::to_string(worker) +
+                               " crashed at op " + std::to_string(op));
+    }
+  }
+}
+
+TEST(OverlapFault, SingleRankMasterToleratesPlanWithoutWorkers) {
+  mpr::FaultPlan plan;
+  plan.crashes.push_back({1, 1});
+  expect_same_overlaps(run_overlap_driver(1, plan), run_overlap_driver(1),
+                       "single-rank overlap");
+}
+
+// Mixed message faults (drops, duplicates, corruption, delays) over several
+// seeds: replay recovery must reproduce the fault-free overlap set each time.
+TEST(OverlapFault, StressRandomMessageFaultsAlwaysRecover) {
+  const int nranks = 3;
+  const auto want = run_overlap_driver(nranks);
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    mpr::FaultPlan plan;
+    plan.seed = trial * 13 + 3;
+    plan.p_drop = 0.05;
+    plan.p_duplicate = 0.05;
+    plan.p_corrupt = 0.05;
+    plan.p_delay = 0.05;
+    expect_same_overlaps(run_overlap_driver(nranks, plan, fault), want,
+                         "trial " + std::to_string(trial));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Distributed-index overlap equivalence suite: the mpr-sharded k-mer index
+// strategy (SeedStrategy::kDistributedIndex) must produce byte-identical
+// overlap sets to the all-pairs path — across rank counts, thread widths,
+// datasets, and config sweeps (k, max_kmer_occurrences, subset counts),
+// including the degenerate shard layouts. Plus the routing property tests:
+// shard ownership is a pure function of (key, ranks), reruns are
+// deterministic down to the message counts, and duplicate candidate pairs
+// from multi-seed hits collapse to one canonical record.
+//
+// Heavy grid variants are labelled perf-smoke in tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "align/kmer_index.hpp"
+#include "align/overlapper.hpp"
+#include "align/shard_index.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "io/preprocess.hpp"
+#include "sim/datasets.hpp"
+
+namespace focus::align {
+namespace {
+
+// Same slice sizing as the seed-backend suite: a few hundred preprocessed
+// reads per dataset — repeats, reverse complements and containments included.
+io::ReadSet dataset_reads(int index, double scale = 0.3) {
+  const sim::Dataset d = sim::make_dataset(index, scale, /*coverage=*/6.0);
+  return io::preprocess(d.data.reads, {});
+}
+
+bool identical(const std::vector<Overlap>& a, const std::vector<Overlap>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].query != b[i].query || a[i].ref != b[i].ref ||
+        a[i].length != b[i].length || a[i].identity != b[i].identity ||
+        a[i].kind != b[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string random_seq(Rng& rng, std::size_t len) {
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) s.push_back("ACGT"[rng.next_below(4)]);
+  return s;
+}
+
+io::ReadSet reads_from(const std::vector<std::string>& seqs) {
+  io::ReadSet reads;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    reads.add({"r" + std::to_string(i), seqs[i],
+               std::string(seqs[i].size(), 'I')});
+  }
+  return reads;
+}
+
+// ---------------------------------------------------------------------------
+// Serial reference: the single-shard pipeline against the all-pairs driver
+// ---------------------------------------------------------------------------
+
+TEST(DistributedOverlap, SerialPipelineMatchesAllPairsAcrossConfigs) {
+  const io::ReadSet reads = dataset_reads(1);
+  for (const unsigned k : {12u, 16u}) {
+    for (const std::size_t max_occ : {std::size_t{16}, std::size_t{64}}) {
+      for (const std::size_t subsets : {std::size_t{1}, std::size_t{3},
+                                        std::size_t{5}}) {
+        OverlapperConfig cfg;
+        cfg.k = k;
+        cfg.max_kmer_occurrences = max_occ;
+        cfg.subsets = subsets;
+        const auto want = find_overlaps_serial(reads, cfg);
+        const auto got = find_overlaps_distributed_serial(reads, cfg);
+        EXPECT_TRUE(identical(got, want))
+            << "k=" << k << " max_occ=" << max_occ << " subsets=" << subsets;
+      }
+    }
+  }
+}
+
+TEST(DistributedOverlap, SerialPipelineMatchesSuffixArrayOracle) {
+  // The distributed pipeline always seeds from the hashed shard; it must
+  // still agree with an all-pairs run seeded by the suffix-array oracle.
+  const io::ReadSet reads = dataset_reads(2);
+  OverlapperConfig cfg;
+  cfg.seed_backend = SeedBackend::kSuffixArray;
+  const auto oracle = find_overlaps_serial(reads, cfg);
+  const auto got = find_overlaps_distributed_serial(reads, cfg);
+  EXPECT_TRUE(identical(got, oracle));
+}
+
+// ---------------------------------------------------------------------------
+// The full grid: ranks x thread widths x datasets (perf-smoke label)
+// ---------------------------------------------------------------------------
+
+TEST(DistributedOverlapHeavy, GridRanksThreadsDatasetsByteIdentical) {
+  for (const int ds : {1, 2, 3}) {
+    const io::ReadSet reads = dataset_reads(ds, /*scale=*/0.25);
+    OverlapperConfig cfg;
+
+    // All-pairs oracle at every pooled width; widths must agree pairwise.
+    cfg.threads = 1;
+    const auto want = find_overlaps(reads, cfg);
+    for (const unsigned threads : {2u, 4u}) {
+      cfg.threads = threads;
+      EXPECT_TRUE(identical(find_overlaps(reads, cfg), want))
+          << "dataset " << ds << " threads " << threads;
+    }
+
+    // Sharded protocol at every rank count against the same oracle.
+    for (const int nranks : {1, 2, 4, 8}) {
+      const auto got = find_overlaps_sharded(reads, cfg, nranks);
+      EXPECT_TRUE(identical(got.overlaps, want))
+          << "dataset " << ds << " ranks " << nranks;
+    }
+  }
+}
+
+TEST(DistributedOverlapHeavy, StrategyDispatchInParallelDriver) {
+  // find_overlaps_parallel must honour OverlapperConfig::strategy: both
+  // strategies through the same entry point, same bytes out.
+  const io::ReadSet reads = dataset_reads(1, /*scale=*/0.25);
+  OverlapperConfig cfg;
+  for (const int nranks : {1, 3, 4}) {
+    cfg.strategy = SeedStrategy::kAllPairs;
+    const auto want = find_overlaps_parallel(reads, cfg, nranks);
+    cfg.strategy = SeedStrategy::kDistributedIndex;
+    const auto got = find_overlaps_parallel(reads, cfg, nranks);
+    EXPECT_TRUE(identical(got.overlaps, want.overlaps)) << "ranks " << nranks;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate shard layouts
+// ---------------------------------------------------------------------------
+
+TEST(DistributedOverlap, HomopolymersPutEveryKeyOnOneShard) {
+  // Every k-mer of a poly-A read is the same key, so at 8 ranks exactly one
+  // shard holds postings and seven are empty — the worst skew possible.
+  const io::ReadSet reads =
+      reads_from({std::string(100, 'A'), std::string(100, 'A'),
+                  std::string(90, 'A'), std::string(100, 'A')});
+  for (const std::size_t max_occ : {std::size_t{64}, std::size_t{1000}}) {
+    OverlapperConfig cfg;
+    cfg.max_kmer_occurrences = max_occ;
+    cfg.subsets = 2;
+    const auto want = find_overlaps_serial(reads, cfg);
+    for (const int nranks : {1, 8}) {
+      const auto got = find_overlaps_sharded(reads, cfg, nranks);
+      EXPECT_TRUE(identical(got.overlaps, want))
+          << "max_occ=" << max_occ << " ranks=" << nranks;
+    }
+    // Sanity: the relaxed mask must actually find the overlaps the default
+    // mask suppresses, or this case tests nothing.
+    if (max_occ == 1000) EXPECT_FALSE(want.empty());
+  }
+}
+
+TEST(DistributedOverlap, ReadsShorterThanKContributeNothing) {
+  Rng rng(7);
+  const std::string genome = random_seq(rng, 240);
+  const io::ReadSet reads = reads_from(
+      {genome.substr(0, 150), genome.substr(80, 150), "ACGTACGT",  // < k
+       "AC", genome.substr(40, 150)});
+  OverlapperConfig cfg;
+  cfg.subsets = 3;
+  const auto want = find_overlaps_serial(reads, cfg);
+  EXPECT_FALSE(want.empty());
+  for (const int nranks : {1, 2, 4, 8}) {
+    const auto got = find_overlaps_sharded(reads, cfg, nranks);
+    EXPECT_TRUE(identical(got.overlaps, want)) << "ranks " << nranks;
+  }
+  for (const auto& o : want) {
+    EXPECT_NE(o.query, 2u);
+    EXPECT_NE(o.ref, 2u);
+    EXPECT_NE(o.query, 3u);
+    EXPECT_NE(o.ref, 3u);
+  }
+}
+
+TEST(DistributedOverlap, TinyAndDisjointSetsStayEmpty) {
+  // More ranks than reads, and reads with no shared k-mers: both paths agree
+  // on the empty answer (and the protocol survives empty stripes).
+  Rng rng(11);
+  const io::ReadSet disjoint =
+      reads_from({random_seq(rng, 120), random_seq(rng, 120)});
+  OverlapperConfig cfg;
+  for (const int nranks : {1, 4, 8}) {
+    const auto got = find_overlaps_sharded(disjoint, cfg, nranks);
+    EXPECT_TRUE(got.overlaps.empty()) << "ranks " << nranks;
+  }
+  EXPECT_TRUE(find_overlaps_serial(disjoint, cfg).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: routing, determinism, dedup
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouting, OwnerIsPureInRangeAndSpreads) {
+  Rng rng(1234);
+  std::vector<std::size_t> per_rank(8, 0);
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    for (const int nranks : {1, 2, 5, 8}) {
+      const int owner = shard_owner(key, nranks);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, nranks);
+      // Pure: same (key, nranks) always maps to the same rank.
+      ASSERT_EQ(owner, shard_owner(key, nranks));
+    }
+    ++per_rank[static_cast<std::size_t>(shard_owner(key, 8))];
+  }
+  for (int r = 0; r < 8; ++r) {
+    // splitmix64 over 4096 keys: each of 8 ranks expects ~512; a rank with
+    // under a quarter of that means the hash is not spreading.
+    EXPECT_GT(per_rank[static_cast<std::size_t>(r)], 128u) << "rank " << r;
+  }
+  // Ownership agrees with what the extractors actually route.
+  const io::ReadSet reads = reads_from({"ACGTACGTACGTACGTACGTACGT"});
+  const auto buckets = extract_shard_postings(reads, 0, 1, 16, 4);
+  for (std::size_t r = 0; r < buckets.size(); ++r) {
+    for (const ShardPosting& p : buckets[r]) {
+      EXPECT_EQ(shard_owner(p.key, 4), static_cast<int>(r));
+    }
+  }
+}
+
+TEST(DistributedOverlap, RerunIsDeterministicDownToTheMessages) {
+  const io::ReadSet reads = dataset_reads(1);
+  OverlapperConfig cfg;
+  const auto a = find_overlaps_sharded(reads, cfg, 4);
+  const auto b = find_overlaps_sharded(reads, cfg, 4);
+  EXPECT_TRUE(identical(a.overlaps, b.overlaps));
+  EXPECT_EQ(a.stats.makespan, b.stats.makespan);
+  EXPECT_EQ(a.stats.rank_vtime, b.stats.rank_vtime);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.bytes, b.stats.bytes);
+}
+
+TEST(DistributedOverlap, MultiSeedPairsCollapseToOneCanonicalRecord) {
+  // Two reads sharing a long exact segment produce dozens of seed hits for
+  // the same (query, ref) pair — across several shards at 4 ranks. They must
+  // dedupe to exactly one canonical record per unordered pair, matching the
+  // all-pairs answer.
+  Rng rng(21);
+  const std::string genome = random_seq(rng, 200);
+  const io::ReadSet reads =
+      reads_from({genome.substr(0, 140), genome.substr(60, 140)});
+  OverlapperConfig cfg;
+  cfg.subsets = 1;
+  const auto want = find_overlaps_serial(reads, cfg);
+  const auto got = find_overlaps_sharded(reads, cfg, 4);
+  EXPECT_TRUE(identical(got.overlaps, want));
+  std::map<std::pair<ReadId, ReadId>, int> pair_counts;
+  for (const auto& o : got.overlaps) {
+    ++pair_counts[{std::min(o.query, o.ref), std::max(o.query, o.ref)}];
+  }
+  ASSERT_EQ(pair_counts.size(), 1u);
+  EXPECT_EQ(pair_counts.begin()->second, 1);
+  EXPECT_EQ(pair_counts.begin()->first, (std::pair<ReadId, ReadId>{0u, 1u}));
+}
+
+// ---------------------------------------------------------------------------
+// Env knob
+// ---------------------------------------------------------------------------
+
+TEST(SeedStrategyEnv, ParsesAliasesAndRejectsTypos) {
+  const char* saved = std::getenv("FOCUS_SEED_STRATEGY");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  unsetenv("FOCUS_SEED_STRATEGY");
+  EXPECT_EQ(seed_strategy_from_env(), SeedStrategy::kAllPairs);
+  setenv("FOCUS_SEED_STRATEGY", "", 1);
+  EXPECT_EQ(seed_strategy_from_env(), SeedStrategy::kAllPairs);
+  setenv("FOCUS_SEED_STRATEGY", "all-pairs", 1);
+  EXPECT_EQ(seed_strategy_from_env(), SeedStrategy::kAllPairs);
+  setenv("FOCUS_SEED_STRATEGY", "allpairs", 1);
+  EXPECT_EQ(seed_strategy_from_env(), SeedStrategy::kAllPairs);
+  setenv("FOCUS_SEED_STRATEGY", "distributed", 1);
+  EXPECT_EQ(seed_strategy_from_env(), SeedStrategy::kDistributedIndex);
+  setenv("FOCUS_SEED_STRATEGY", "distributed-index", 1);
+  EXPECT_EQ(seed_strategy_from_env(), SeedStrategy::kDistributedIndex);
+  setenv("FOCUS_SEED_STRATEGY", "fastest", 1);
+  EXPECT_THROW(seed_strategy_from_env(), Error);
+
+  // OverlapperConfig's default member initializer reads the env too.
+  setenv("FOCUS_SEED_STRATEGY", "distributed", 1);
+  EXPECT_EQ(OverlapperConfig{}.strategy, SeedStrategy::kDistributedIndex);
+
+  if (saved != nullptr) {
+    setenv("FOCUS_SEED_STRATEGY", restore.c_str(), 1);
+  } else {
+    unsetenv("FOCUS_SEED_STRATEGY");
+  }
+}
+
+}  // namespace
+}  // namespace focus::align

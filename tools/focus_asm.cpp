@@ -43,56 +43,56 @@ int main(int argc, char** argv) {
   using namespace focus;
 
   std::string input, prefix;
-  core::FocusConfig config;
-  config.partitions = 16;
-  config.ranks = 8;
+  try {
+    core::FocusConfig config;
+    config.partitions = 16;
+    config.ranks = 8;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          usage(argv[0]);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "-i") {
+        input = next();
+      } else if (arg == "-o") {
+        prefix = next();
+      } else if (arg == "-k") {
+        config.partitions = std::atoi(next());
+      } else if (arg == "-r") {
+        config.ranks = std::atoi(next());
+      } else if (arg == "--min-overlap") {
+        config.overlap.min_overlap = static_cast<std::uint32_t>(std::atoi(next()));
+      } else if (arg == "--min-identity") {
+        config.overlap.min_identity = std::atof(next());
+      } else if (arg == "--seed-k") {
+        config.overlap.k = static_cast<unsigned>(std::atoi(next()));
+      } else if (arg == "--subsets") {
+        config.overlap.subsets = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--min-contig") {
+        config.min_contig_length = static_cast<std::size_t>(std::atoi(next()));
+      } else if (arg == "--trim-q") {
+        config.preprocess.min_quality = std::atof(next());
+      } else if (arg == "--multilevel") {
+        config.use_hybrid_partitioning = false;
+      } else if (arg == "-h" || arg == "--help") {
         usage(argv[0]);
-        std::exit(2);
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        usage(argv[0]);
+        return 2;
       }
-      return argv[++i];
-    };
-    if (arg == "-i") {
-      input = next();
-    } else if (arg == "-o") {
-      prefix = next();
-    } else if (arg == "-k") {
-      config.partitions = std::atoi(next());
-    } else if (arg == "-r") {
-      config.ranks = std::atoi(next());
-    } else if (arg == "--min-overlap") {
-      config.overlap.min_overlap = static_cast<std::uint32_t>(std::atoi(next()));
-    } else if (arg == "--min-identity") {
-      config.overlap.min_identity = std::atof(next());
-    } else if (arg == "--seed-k") {
-      config.overlap.k = static_cast<unsigned>(std::atoi(next()));
-    } else if (arg == "--subsets") {
-      config.overlap.subsets = static_cast<std::size_t>(std::atoi(next()));
-    } else if (arg == "--min-contig") {
-      config.min_contig_length = static_cast<std::size_t>(std::atoi(next()));
-    } else if (arg == "--trim-q") {
-      config.preprocess.min_quality = std::atof(next());
-    } else if (arg == "--multilevel") {
-      config.use_hybrid_partitioning = false;
-    } else if (arg == "-h" || arg == "--help") {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+    if (input.empty() || prefix.empty()) {
       usage(argv[0]);
       return 2;
     }
-  }
-  if (input.empty() || prefix.empty()) {
-    usage(argv[0]);
-    return 2;
-  }
 
-  try {
     std::fprintf(stderr, "[focus_asm] loading %s\n", input.c_str());
     const io::ReadSet raw = io::load_fastx_file(input);
     std::fprintf(stderr, "[focus_asm] %zu reads, %llu bases\n", raw.size(),

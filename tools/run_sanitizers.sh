@@ -5,10 +5,12 @@
 # bit manipulation, two-pass NW scratch reuse), the partitioner determinism
 # suite (fork_join recursion, pooled KL/k-way scoring, concurrent
 # multi-trial initial bisections, the chunked KL pair search, byte-identical
-# partitions across thread widths), and the fault-injection suite (label
-# `fault`: crash-at-every-op recovery sweep, 50-seed mixed-fault stress of
-# the runtime's timeout/CRC detection paths) are exercised under both
-# memory/UB and data-race checking.
+# partitions across thread widths), the distributed-index overlap suite
+# (sharded k-mer index alltoall rounds across rank counts, per-subset repeat
+# masking, the FT overlap driver's block replay), and the fault-injection
+# suite (label `fault`: crash-at-every-op recovery sweeps, mixed-fault
+# stress of the runtime's timeout/CRC detection paths) are exercised under
+# both memory/UB and data-race checking.
 #
 #   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]
 #

@@ -3,11 +3,15 @@
 // growing, KL refinement, and mpr messaging.
 #include <benchmark/benchmark.h>
 
+#include <unordered_set>
+
 #include "align/banded_nw.hpp"
 #include "align/overlapper.hpp"
 #include "align/suffix_array.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "dist/asm_graph.hpp"
+#include "dist/simplify.hpp"
 #include "graph/coarsen.hpp"
 #include "mpr/runtime.hpp"
 #include "partition/ggg.hpp"
@@ -210,6 +214,81 @@ void BM_KlRefine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KlRefine)->Arg(200)->Arg(800);
+
+// Branchy assembly graph for the transitive-reduction scan: a backbone chain
+// with shortcut edges (the transitive candidates) plus random cross edges so
+// most nodes clear the out-degree >= 2 gate.
+dist::AsmGraph random_asm_graph(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  dist::AsmGraph g;
+  for (std::size_t v = 0; v < n; ++v) {
+    g.add_node(random_dna(seed + v, 60), 2);
+  }
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(v + 1), 30);
+  }
+  for (std::size_t v = 0; v + 2 < n; v += 2) {
+    g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(v + 2), 10);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u != v && !g.find_edge(u, v).has_value()) g.add_edge(u, v, 5);
+  }
+  return g;
+}
+
+// The pre-epoch kernel: a fresh unordered_set of direct successors per
+// scanned node. Kept inline here as the baseline the epoch-stamped scratch
+// in find_transitive_edges is measured against.
+std::vector<dist::EdgeId> transitive_with_set(const dist::AsmGraph& g,
+                                        std::span<const NodeId> scan) {
+  std::vector<dist::EdgeId> found;
+  for (const NodeId v : scan) {
+    if (!g.node_live(v)) continue;
+    const auto out = g.live_out(v);
+    if (out.size() < 2) continue;
+    std::unordered_set<NodeId> direct;
+    direct.reserve(out.size());
+    for (const dist::EdgeId e : out) direct.insert(g.edge(e).to);
+    for (const dist::EdgeId mid : out) {
+      const NodeId w = g.edge(mid).to;
+      for (const dist::EdgeId far : g.live_out(w)) {
+        const NodeId x = g.edge(far).to;
+        if (x == v || direct.find(x) == direct.end()) continue;
+        const auto vx = g.find_edge(v, x);
+        if (vx.has_value()) found.push_back(*vx);
+      }
+    }
+  }
+  return found;
+}
+
+void BM_TransitiveScanSetBaseline(benchmark::State& state) {
+  const auto g =
+      random_asm_graph(20, static_cast<std::size_t>(state.range(0)));
+  std::vector<NodeId> all(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) all[v] = v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transitive_with_set(g, all).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransitiveScanSetBaseline)->Arg(1000)->Arg(10000);
+
+void BM_TransitiveScanEpochMarks(benchmark::State& state) {
+  const auto g =
+      random_asm_graph(20, static_cast<std::size_t>(state.range(0)));
+  std::vector<NodeId> all(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) all[v] = v;
+  dist::TransitiveScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::find_transitive_edges(g, all, scratch, nullptr).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransitiveScanEpochMarks)->Arg(1000)->Arg(10000);
 
 void BM_MprPingPong(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));

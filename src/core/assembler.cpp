@@ -149,7 +149,7 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
     auto simplified = dist::simplify_parallel(
         built.graph, node_part, config_.partitions, config_.simplify,
         config_.ranks, config_.cost, config_.partitioner.threads,
-        config_.fault_plan, config_.fault);
+        config_.fault_plan, config_.fault, config_.dist);
     result.simplify_stats = simplified.stats;
     result.simplify_run = simplified.run;
     StageTiming t;
@@ -164,7 +164,7 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
     auto traversed = dist::traverse_parallel(
         built.graph, node_part, config_.partitions, config_.ranks,
         config_.cost, config_.partitioner.threads, config_.fault_plan,
-        config_.fault);
+        config_.fault, config_.dist);
     result.paths = std::move(traversed.paths);
     result.traverse_run = traversed.run;
     std::vector<std::string> contigs;

@@ -45,6 +45,9 @@ struct FocusConfig {
   mpr::FaultPlan fault_plan = mpr::FaultPlan::from_env();
   /// Retry bound and receive deadline for fault recovery.
   mpr::FaultConfig fault;
+  /// Wire protocol of the distributed graph stages (6 and 7). Defaults to
+  /// the FOCUS_DIST_PROTOCOL environment selection; see dist::DistProtocol.
+  dist::DistConfig dist;
 };
 
 /// Virtual + wall time of one pipeline stage.

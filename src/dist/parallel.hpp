@@ -1,9 +1,13 @@
 // mpr-parallel drivers for the distributed graph algorithms (paper §V, §VI-D).
 //
-// The hybrid graph is partitioned; each partition is assigned to a worker
-// rank (round-robin when there are more partitions than ranks). Workers scan
-// only their partitions and ship recorded changes to the master (rank 0),
-// which applies them between phases — the paper's master/worker protocol.
+// The hybrid graph is partitioned; two wire protocols drive the scans
+// (DistConfig::protocol). kMaster is the paper's protocol: partitions are
+// assigned round-robin, workers scan and ship recorded changes to the master
+// (rank 0), which applies them between phases. kSymmetric is the
+// owner-computes protocol (DESIGN.md §7b): partitions are LPT-assigned by
+// estimated scan cost, deltas travel peer-to-peer in batched alltoall
+// rounds and every rank applies them in a canonical order, so no rank's
+// clock serializes the apply. Both produce byte-identical output.
 //
 // Fault tolerance (DESIGN.md §7): when a non-empty FaultPlan is supplied the
 // drivers switch to an explicitly commanded protocol. The master sends each
@@ -25,6 +29,32 @@
 #include "mpr/runtime.hpp"
 
 namespace focus::dist {
+
+/// Wire protocol of the distributed simplify/traverse drivers.
+///
+/// kMaster is the paper's protocol: workers scan and ship records to rank 0,
+/// which applies them between phases — simple, but the master-side apply and
+/// sub-path join serialize on rank 0's clock.
+///
+/// kSymmetric is the owner-computes protocol (DESIGN.md §7b): partitions are
+/// LPT-assigned to ranks by estimated scan cost, every rank applies the
+/// deltas for the nodes and edges it owns, cross-owner deltas travel in
+/// batched mpr::exchange_deltas rounds, and cross-partition sub-paths are
+/// stitched by distributed pointer jumping instead of a master merge. Both
+/// protocols produce byte-identical graphs, stats and paths
+/// (tests/dist_protocol_test.cpp).
+enum class DistProtocol {
+  kMaster,
+  kSymmetric,
+};
+
+/// Reads FOCUS_DIST_PROTOCOL ('master' | 'symmetric'; unset/empty = master).
+DistProtocol dist_protocol_from_env();
+
+/// Knobs shared by the simplify/traverse drivers.
+struct DistConfig {
+  DistProtocol protocol = dist_protocol_from_env();
+};
 
 /// Nodes of each partition, in ascending node-id order. This is the host-side
 /// gather both drivers below run before entering the mpr runtime. `threads`
@@ -55,7 +85,8 @@ ParallelSimplifyResult simplify_parallel(AsmGraph& g,
                                          int nranks, mpr::CostModel cost = {},
                                          unsigned threads = 1,
                                          const mpr::FaultPlan& fault_plan = {},
-                                         const mpr::FaultConfig& fault = {});
+                                         const mpr::FaultConfig& fault = {},
+                                         const DistConfig& dist = {});
 
 struct ParallelTraverseResult {
   std::vector<std::vector<NodeId>> paths;
@@ -71,7 +102,8 @@ ParallelTraverseResult traverse_parallel(const AsmGraph& g,
                                          mpr::CostModel cost = {},
                                          unsigned threads = 1,
                                          const mpr::FaultPlan& fault_plan = {},
-                                         const mpr::FaultConfig& fault = {});
+                                         const mpr::FaultConfig& fault = {},
+                                         const DistConfig& dist = {});
 
 struct ParallelOverlapResult {
   std::vector<align::Overlap> overlaps;

@@ -1,7 +1,6 @@
 #include "dist/simplify.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "align/banded_nw.hpp"
 #include "common/error.hpp"
@@ -10,21 +9,30 @@ namespace focus::dist {
 
 std::vector<EdgeId> find_transitive_edges(const AsmGraph& g,
                                           std::span<const NodeId> scan,
+                                          TransitiveScratch& scratch,
                                           double* work) {
   std::vector<EdgeId> found;
-  std::unordered_set<NodeId> direct;
+  if (scratch.stamp.size() != g.node_count()) {
+    scratch.stamp.assign(g.node_count(), 0);
+    scratch.epoch = 0;
+  }
   for (const NodeId v : scan) {
     if (!g.node_live(v)) continue;
     const auto out = g.live_out(v);
     if (out.size() < 2) continue;
-    direct.clear();
-    for (const EdgeId e : out) direct.insert(g.edge(e).to);
+    if (++scratch.epoch == 0) {
+      // Epoch wrapped: stale stamps could alias the new epoch, so pay one
+      // full clear every 2^32 scanned nodes.
+      std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0);
+      scratch.epoch = 1;
+    }
+    for (const EdgeId e : out) scratch.stamp[g.edge(e).to] = scratch.epoch;
     for (const EdgeId mid : out) {
       const NodeId w = g.edge(mid).to;
       for (const EdgeId far : g.live_out(w)) {
         if (work != nullptr) *work += 1.0;
         const NodeId x = g.edge(far).to;
-        if (x == v || !direct.contains(x)) continue;
+        if (x == v || scratch.stamp[x] != scratch.epoch) continue;
         // v -> x is reachable via w: the direct edge v -> x is transitive.
         const auto vx = g.find_edge(v, x);
         if (vx.has_value()) found.push_back(*vx);
@@ -32,6 +40,13 @@ std::vector<EdgeId> find_transitive_edges(const AsmGraph& g,
     }
   }
   return found;
+}
+
+std::vector<EdgeId> find_transitive_edges(const AsmGraph& g,
+                                          std::span<const NodeId> scan,
+                                          double* work) {
+  TransitiveScratch scratch;
+  return find_transitive_edges(g, scan, scratch, work);
 }
 
 ContainmentFindings find_containments(const AsmGraph& g,
@@ -301,8 +316,9 @@ SimplifyStats simplify_serial(AsmGraph& g, const SimplifyConfig& config,
   all.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) all.push_back(v);
 
+  TransitiveScratch scratch;
   stats.transitive_edges =
-      apply_edge_removals(g, find_transitive_edges(g, all, work));
+      apply_edge_removals(g, find_transitive_edges(g, all, scratch, work));
 
   auto contain = find_containments(g, all, config, work);
   stats.verified_edges = apply_verifications(g, contain.verified);

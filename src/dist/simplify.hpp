@@ -49,7 +49,23 @@ struct SimplifyStats {
 
 // --- Worker-side recording passes (read-only on the graph). ---------------
 
-/// §V-A: transitive edges seen from the nodes in `scan`.
+/// Reusable direct-successor marks for find_transitive_edges. One instance
+/// per scanning rank; sized (lazily) to node_count() and never re-zeroed on
+/// the hot path — membership is `stamp[v] == epoch` and bumping the epoch
+/// invalidates every mark in O(1).
+struct TransitiveScratch {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+};
+
+/// §V-A: transitive edges seen from the nodes in `scan`. `scratch` persists
+/// across calls by the same rank.
+std::vector<EdgeId> find_transitive_edges(const AsmGraph& g,
+                                          std::span<const NodeId> scan,
+                                          TransitiveScratch& scratch,
+                                          double* work = nullptr);
+
+/// Convenience overload with a call-local scratch.
 std::vector<EdgeId> find_transitive_edges(const AsmGraph& g,
                                           std::span<const NodeId> scan,
                                           double* work = nullptr);

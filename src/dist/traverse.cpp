@@ -67,6 +67,13 @@ std::vector<std::vector<NodeId>> extract_subpaths(
   return paths;
 }
 
+void clear_visited(const std::vector<std::vector<NodeId>>& paths,
+                   std::vector<bool>& visited) {
+  for (const auto& path : paths) {
+    for (const NodeId v : path) visited[v] = false;
+  }
+}
+
 std::vector<std::vector<NodeId>> join_subpaths(
     const AsmGraph& g, std::vector<std::vector<NodeId>> subpaths,
     double* work) {

@@ -25,6 +25,14 @@ std::vector<std::vector<NodeId>> extract_subpaths(
     std::span<const PartId> part, std::vector<bool>& visited,
     double* work = nullptr);
 
+/// Unmarks every node of `paths` in `visited`. Every node extract_subpaths
+/// marks ends up in exactly one returned path, so this restores the scratch
+/// to all-false in O(extracted nodes) — callers that must re-scan (fault
+/// replays) reuse one allocation instead of zeroing node_count() bits per
+/// partition.
+void clear_visited(const std::vector<std::vector<NodeId>>& paths,
+                   std::vector<bool>& visited);
+
 /// Master-side joining of worker sub-paths; returns the final maximal paths.
 std::vector<std::vector<NodeId>> join_subpaths(
     const AsmGraph& g, std::vector<std::vector<NodeId>> subpaths,

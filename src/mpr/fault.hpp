@@ -36,6 +36,15 @@ class RankFailed : public Error {
   explicit RankFailed(const std::string& what) : Error(what) {}
 };
 
+/// The calling rank itself was crashed by the fault plan (thrown from
+/// Comm::fault_point). A subclass so Runtime::run's accounting still sees a
+/// RankFailed, but drivers that catch RankFailed to detect a *peer's* death
+/// (the symmetric coordinator rotation) can let their own crash propagate.
+class RankCrashed : public RankFailed {
+ public:
+  explicit RankCrashed(const std::string& what) : RankFailed(what) {}
+};
+
 /// A received frame failed its CRC32 checksum. Thrown by Comm::recv; reported
 /// as RecvStatus::kCorrupt by Comm::try_recv so drivers can retry.
 class CorruptMessage : public Error {

@@ -48,9 +48,9 @@ FaultDecision Comm::fault_point(const char* op_name) {
   ++op_seq_;
   FaultDecision d = rt_->plan().decide(rank_, op_seq_);
   if (d.crash) {
-    throw RankFailed("rank " + std::to_string(rank_) +
-                     " crashed by fault plan at op " +
-                     std::to_string(op_seq_) + " (" + op_name + ")");
+    throw RankCrashed("rank " + std::to_string(rank_) +
+                      " crashed by fault plan at op " +
+                      std::to_string(op_seq_) + " (" + op_name + ")");
   }
   return d;
 }

@@ -268,16 +268,21 @@ struct DriverOutcome {
   mpr::RunStats traverse_run;
 };
 
+// The master protocol is pinned explicitly (not via environment) so the
+// seed goldens below stay stable under FOCUS_DIST_PROTOCOL.
 DriverOutcome run_drivers(int nranks, const mpr::FaultPlan& plan = {},
-                          const mpr::FaultConfig& fault = {}) {
+                          const mpr::FaultConfig& fault = {},
+                          const dist::DistConfig& dcfg = {
+                              dist::DistProtocol::kMaster}) {
   AsmGraph g = make_fault_graph(100);
   const auto part = striped_partition(g, kParts);
   DriverOutcome out;
   auto s = dist::simplify_parallel(g, part, kParts, SimplifyConfig{}, nranks,
-                                   {}, 1, plan, fault);
+                                   {}, 1, plan, fault, dcfg);
   out.stats = s.stats;
   out.simplify_run = s.run;
-  auto t = dist::traverse_parallel(g, part, kParts, nranks, {}, 1, plan, fault);
+  auto t = dist::traverse_parallel(g, part, kParts, nranks, {}, 1, plan, fault,
+                                   dcfg);
   out.paths = std::move(t.paths);
   out.traverse_run = t.run;
   return out;
@@ -414,6 +419,109 @@ TEST(DistFault, RetriesExhaustedThrows) {
   mpr::FaultConfig fault;
   fault.max_retries = 0;  // …and no replay is allowed
   EXPECT_THROW(run_drivers(3, plan, fault), Error);
+}
+
+// --- Symmetric protocol under faults (DESIGN.md §7b) ------------------------
+
+const dist::DistConfig kSymCfg{dist::DistProtocol::kSymmetric};
+
+TEST(DistFaultSymmetric, FaultFreeMatchesMasterProtocol) {
+  for (const int nranks : {1, 2, 3, 4}) {
+    const auto want = run_drivers(nranks);
+    const auto got = run_drivers(nranks, {}, {}, kSymCfg);
+    expect_same_assembly(got, want, "ranks " + std::to_string(nranks));
+    EXPECT_EQ(got.simplify_run.retries, 0u);
+    EXPECT_EQ(got.simplify_run.ranks_failed, 0);
+    EXPECT_EQ(got.traverse_run.ranks_failed, 0);
+  }
+}
+
+// Crash EVERY rank — the coordinator included — at every op position. Killing
+// rank 0 forces the coordinator rotation: a successor inherits the log,
+// fast-forwards through the committed phases, and finishes the run; the
+// recovered assembly must be exactly the fault-free master one. This is the
+// property the master protocol cannot have (its rank 0 is irreplaceable).
+TEST(DistFaultSymmetric, CrashAtEveryOpOnEveryRankRecoversExactAssembly) {
+  const int nranks = 3;
+  const auto want = run_drivers(nranks);
+  for (Rank victim = 0; victim < nranks; ++victim) {
+    for (std::uint64_t op = 1; op <= 10; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({victim, op});
+      const auto got = run_drivers(nranks, plan, {}, kSymCfg);
+      const std::string context = "rank " + std::to_string(victim) +
+                                  " crashed at op " + std::to_string(op);
+      expect_same_assembly(got, want, context);
+      // Simplify runs 9 worker ops (4 × recv+send, final recv) and more on
+      // the coordinator, so every op in 1..9 actually kills the victim.
+      if (op <= 9) {
+        EXPECT_EQ(got.simplify_run.ranks_failed, 1) << context;
+      }
+    }
+  }
+}
+
+TEST(DistFaultSymmetric, SingleRankToleratesPlanWithoutPeers) {
+  mpr::FaultPlan plan;
+  plan.crashes.push_back({1, 1});
+  const auto want = run_drivers(1);
+  const auto got = run_drivers(1, plan, {}, kSymCfg);
+  expect_same_assembly(got, want, "single-rank symmetric");
+  EXPECT_EQ(got.simplify_run.ranks_failed, 0);
+}
+
+TEST(DistFaultSymmetric, SameSeedGivesBitIdenticalRunStats) {
+  mpr::FaultPlan plan;
+  plan.seed = 99;
+  plan.p_drop = 0.10;
+  plan.p_duplicate = 0.05;
+  plan.p_corrupt = 0.05;
+  plan.p_delay = 0.10;
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  const auto a = run_drivers(4, plan, fault, kSymCfg);
+  const auto b = run_drivers(4, plan, fault, kSymCfg);
+  EXPECT_EQ(a.simplify_run.makespan, b.simplify_run.makespan);
+  EXPECT_EQ(a.simplify_run.rank_vtime, b.simplify_run.rank_vtime);
+  EXPECT_EQ(a.simplify_run.messages, b.simplify_run.messages);
+  EXPECT_EQ(a.simplify_run.bytes, b.simplify_run.bytes);
+  EXPECT_EQ(a.simplify_run.retries, b.simplify_run.retries);
+  EXPECT_EQ(a.simplify_run.ranks_failed, b.simplify_run.ranks_failed);
+  EXPECT_EQ(a.simplify_run.recovery_vtime, b.simplify_run.recovery_vtime);
+  EXPECT_EQ(a.traverse_run.makespan, b.traverse_run.makespan);
+  EXPECT_EQ(a.traverse_run.messages, b.traverse_run.messages);
+  expect_same_assembly(a, b, "symmetric same seed");
+}
+
+// Mixed message faults (drops, duplicates, corruption, delays) against the
+// fault-free master oracle: a falsely-suspected worker becomes an orphan that
+// must still terminate and agree. Run under TSan/ASan via
+// tools/run_sanitizers.sh (ctest label: fault).
+TEST(DistFaultSymmetric, StressRandomMessageFaultsAlwaysRecover) {
+  const int nranks = 4;
+  const auto want = run_drivers(nranks);
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    mpr::FaultPlan plan;
+    plan.seed = trial * 13 + 3;
+    plan.p_drop = 0.05;
+    plan.p_duplicate = 0.05;
+    plan.p_corrupt = 0.05;
+    plan.p_delay = 0.05;
+    const auto got = run_drivers(nranks, plan, fault, kSymCfg);
+    expect_same_assembly(got, want,
+                         "symmetric trial " + std::to_string(trial));
+  }
+}
+
+TEST(DistFaultSymmetric, RetriesExhaustedThrows) {
+  mpr::FaultPlan plan;
+  plan.seed = 5;
+  plan.p_drop = 1.0;
+  mpr::FaultConfig fault;
+  fault.max_retries = 0;
+  EXPECT_THROW(run_drivers(3, plan, fault, kSymCfg), Error);
 }
 
 // --- Fault-tolerant distributed-index overlap driver ------------------------

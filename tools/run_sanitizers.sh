@@ -7,10 +7,13 @@
 # multi-trial initial bisections, the chunked KL pair search, byte-identical
 # partitions across thread widths), the distributed-index overlap suite
 # (sharded k-mer index alltoall rounds across rank counts, per-subset repeat
-# masking, the FT overlap driver's block replay), and the fault-injection
-# suite (label `fault`: crash-at-every-op recovery sweeps, mixed-fault
-# stress of the runtime's timeout/CRC detection paths) are exercised under
-# both memory/UB and data-race checking.
+# masking, the FT overlap driver's block replay), the protocol-equivalence
+# suite (master vs symmetric owner-computes simplify/traverse across rank
+# counts, the pointer-jumping sub-path stitch, the shared-WAL rotating
+# coordinator), and the fault-injection suite (label `fault`:
+# crash-at-every-op recovery sweeps — including symmetric-coordinator
+# rotation — and mixed-fault stress of the runtime's timeout/CRC detection
+# paths) are exercised under both memory/UB and data-race checking.
 #
 #   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]
 #

@@ -1,0 +1,411 @@
+// Graph-store backend bench — peak RSS and wall/vtime of the in-memory
+// AsmGraph backend vs the out-of-core CSR spill backend (DESIGN.md §8).
+//
+//   $ ./bench_graph_store [--smoke] [output.json]
+//
+// The workload is a deterministic synthetic assembly graph generated beyond
+// the D1-D3 dataset scales: per-partition contig chains carved from a
+// splitmix64-derived genome (so chain overlaps verify at identity 1.0),
+// plus transitive shortcuts, dead-end tips and inconsistent cross-partition
+// edges that simplification removes. Scale factor `sf` multiplies the
+// partition count, so the graph grows linearly while per-partition slice
+// sizes stay fixed.
+//
+// Each (scale, backend) cell runs in a forked child process — build,
+// simplify_parallel, traverse_parallel, contig checksum — and reports
+// ru_maxrss through a pipe, so one backend's allocations can never pollute
+// the other's high-water mark. The parent checks the two backends'
+// contig-stream checksums byte-identical at every scale, checks that the
+// spill budget actually forced evictions, and (full mode) gates on a
+// peak-RSS reduction of at least 2x at the largest scale. Exit status is
+// nonzero if any check fails, so the smoke invocation doubles as a ctest
+// (label: perf-smoke). Default output: BENCH_graph_store.json.
+#include "bench_common.hpp"
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "dist/parallel.hpp"
+#include "dist/stored_graph.hpp"
+
+namespace {
+
+using namespace focus;
+
+constexpr int kRanks = 4;
+
+// --- Deterministic workload ------------------------------------------------
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Synthetic per-partition workload. Chain node i of partition p carries the
+/// genome window [i*(L-ov), i*(L-ov)+L) of partition p's genome, so
+/// consecutive contigs overlap by exactly `ov` identical bases; every
+/// `seg`-th chain edge is omitted so traversal emits bounded paths instead
+/// of one giant per-partition contig.
+struct Workload {
+  PartId parts = 8;          // 8 * sf
+  std::size_t chain = 6000;  // chain nodes per partition
+  std::size_t seg = 250;     // chain segment length (path length bound)
+  std::uint32_t len = 2400;  // contig length L
+  std::uint32_t ov = 150;    // chain overlap
+  std::uint32_t tip_len = 200;
+
+  std::size_t tips() const { return chain / 64; }
+  std::size_t block() const { return chain + tips(); }
+  std::size_t node_count() const { return block() * parts; }
+
+  PartId part_of(NodeId v) const {
+    return static_cast<PartId>(v / block());
+  }
+  bool is_tip(NodeId v) const { return v % block() >= chain; }
+  std::uint32_t len_of(NodeId v) const { return is_tip(v) ? tip_len : len; }
+
+  /// Base j of partition p's genome (tips draw from a disjoint seed space so
+  /// their spur edges never verify).
+  char genome(std::uint64_t seed, std::uint64_t j) const {
+    const std::uint64_t word = splitmix64(seed ^ (j >> 5));
+    return "ACGT"[(word >> ((j & 31u) * 2u)) & 3u];
+  }
+
+  std::string contig_of(NodeId v) const {
+    const std::uint64_t p = part_of(v);
+    const std::size_t local = v % block();
+    std::string s;
+    const std::uint32_t n = len_of(v);
+    s.reserve(n);
+    if (is_tip(v)) {
+      const std::uint64_t seed = (p << 32) | 0x80000000ull | (local - chain);
+      for (std::uint32_t j = 0; j < n; ++j) s.push_back(genome(~seed, j));
+    } else {
+      const std::uint64_t j0 =
+          static_cast<std::uint64_t>(local) * (len - ov);
+      for (std::uint32_t j = 0; j < n; ++j) {
+        s.push_back(genome(p << 32, j0 + j));
+      }
+    }
+    return s;
+  }
+
+  /// Emits every edge in the deterministic insertion order both backends
+  /// share (edge ids are assigned in call order by AsmGraph and the store
+  /// builder alike).
+  template <class AddEdge>
+  void for_each_edge(AddEdge&& add) const {
+    for (PartId p = 0; p < parts; ++p) {
+      const NodeId base = static_cast<NodeId>(p * block());
+      for (std::size_t i = 0; i < chain; ++i) {
+        const NodeId v = base + static_cast<NodeId>(i);
+        // Chain edge, broken at segment boundaries.
+        if (i + 1 < chain && (i + 1) % seg != 0) {
+          add(v, v + 1, ov, len - ov);
+        }
+        // Transitive shortcut: removed by §V-A reduction (or, failing that,
+        // as a false edge — its claimed 2*ov overlap never verifies).
+        if (i % 31 == 7 && i + 2 < chain && (i + 1) % seg != 0 &&
+            (i + 2) % seg != 0) {
+          add(v, v + 2, 2 * ov, len - 2 * ov);
+        }
+        // Dead-end spur into a tip node: trimmed by §V-C.
+        if (i % 64 == 9 && i / 64 < tips()) {
+          add(v, base + static_cast<NodeId>(chain + i / 64), 30, len - 30);
+        }
+      }
+      // Inconsistent cross-partition edge: exercises the boundary protocol,
+      // then falls to §V-B false-edge removal.
+      if (p + 1 < parts) {
+        add(base, static_cast<NodeId>((p + 1) * block()) + 1, 60, len - 60);
+      }
+    }
+  }
+
+  std::vector<PartId> partition() const {
+    std::vector<PartId> part(node_count());
+    for (NodeId v = 0; v < part.size(); ++v) part[v] = part_of(v);
+    return part;
+  }
+};
+
+// --- Child-side measurement ------------------------------------------------
+
+struct CellResult {
+  long maxrss_kb = 0;
+  double wall = 0.0;
+  double vtime = 0.0;
+  std::uint32_t checksum = 0;
+  std::size_t paths = 0;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  graph::SpillStats spill;
+};
+
+template <class GraphT>
+CellResult run_kernels(GraphT& g, const Workload& wl) {
+  CellResult r;
+  r.nodes = g.node_count();
+  r.edges = g.edge_count();
+  const std::vector<PartId> part = wl.partition();
+  auto simplified = dist::simplify_parallel(g, part, wl.parts,
+                                            dist::SimplifyConfig{}, kRanks);
+  auto traversed = dist::traverse_parallel(g, part, wl.parts, kRanks);
+  r.vtime = simplified.run.makespan + traversed.run.makespan;
+  r.paths = traversed.paths.size();
+  // Stream the merged contigs through an incremental CRC — one path's
+  // sequence in flight at a time, so the checksum never inflates the RSS
+  // measurement.
+  std::uint32_t crc = common::crc32_init();
+  for (const auto& path : traversed.paths) {
+    const std::string s = g.merge_path_contigs(path);
+    crc = common::crc32_update(
+        crc, reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  r.checksum = common::crc32_final(crc);
+  return r;
+}
+
+CellResult run_cell(bool spill, const Workload& wl, std::size_t budget) {
+  Timer wall;
+  CellResult r;
+  if (spill) {
+    graph::GraphStoreConfig cfg;
+    cfg.backend = graph::GraphStoreBackend::kCsrSpill;
+    cfg.mem_budget_bytes = budget;
+    const std::vector<PartId> part = wl.partition();
+    dist::StoredAsmGraphBuilder builder(cfg, part, wl.parts);
+    for (NodeId v = 0; v < wl.node_count(); ++v) {
+      builder.declare_node(wl.len_of(v), 1);
+    }
+    wl.for_each_edge([&](NodeId f, NodeId t, std::uint32_t ov,
+                         std::uint32_t off) { builder.add_edge(f, t, ov, off); });
+    dist::StoredAsmGraph g =
+        builder.finish([&](NodeId v) { return wl.contig_of(v); });
+    r = run_kernels(g, wl);
+    r.spill = g.spill_stats();
+  } else {
+    dist::AsmGraph g;
+    for (NodeId v = 0; v < wl.node_count(); ++v) {
+      g.add_node(wl.contig_of(v), 1);
+    }
+    wl.for_each_edge([&](NodeId f, NodeId t, std::uint32_t ov,
+                         std::uint32_t off) { g.add_edge(f, t, ov, off); });
+    r = run_kernels(g, wl);
+  }
+  r.wall = wall.seconds();
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  r.maxrss_kb = ru.ru_maxrss;
+  return r;
+}
+
+/// Runs one (scale, backend) cell in a forked child so ru_maxrss isolates
+/// this cell's allocations; the child reports one text line through a pipe.
+bool run_cell_forked(bool spill, const Workload& wl, std::size_t budget,
+                     CellResult* out) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    close(fds[0]);
+    CellResult r = run_cell(spill, wl, budget);
+    char line[512];
+    const int n = std::snprintf(
+        line, sizeof(line),
+        "%ld %.6f %.6f %u %zu %zu %zu %llu %llu %llu %llu\n", r.maxrss_kb,
+        r.wall, r.vtime, r.checksum, r.paths, r.nodes, r.edges,
+        static_cast<unsigned long long>(r.spill.writes),
+        static_cast<unsigned long long>(r.spill.loads),
+        static_cast<unsigned long long>(r.spill.evictions),
+        static_cast<unsigned long long>(r.spill.peak_resident_bytes));
+    if (write(fds[1], line, static_cast<std::size_t>(n)) != n) _exit(3);
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  char buf[512];
+  std::size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = read(fds[0], buf + got, sizeof(buf) - 1 - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  buf[got] = '\0';
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "[graph_store] child failed (status %d)\n", status);
+    return false;
+  }
+  unsigned long long writes = 0, loads = 0, evictions = 0, peak = 0;
+  if (std::sscanf(buf, "%ld %lf %lf %u %zu %zu %zu %llu %llu %llu %llu",
+                  &out->maxrss_kb, &out->wall, &out->vtime, &out->checksum,
+                  &out->paths, &out->nodes, &out->edges, &writes, &loads,
+                  &evictions, &peak) != 11) {
+    std::fprintf(stderr, "[graph_store] bad child report: %s\n", buf);
+    return false;
+  }
+  out->spill.writes = writes;
+  out->spill.loads = loads;
+  out->spill.evictions = evictions;
+  out->spill.peak_resident_bytes = peak;
+  return true;
+}
+
+struct ScalePoint {
+  int sf = 0;
+  Workload wl;
+  CellResult memory;
+  CellResult spill;
+  double reduction() const {
+    return spill.maxrss_kb > 0 ? static_cast<double>(memory.maxrss_kb) /
+                                     static_cast<double>(spill.maxrss_kb)
+                               : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_graph_store.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // Scale factor sf multiplies the partition count (8*sf partitions of
+  // fixed slice size); the spill budget stays fixed so larger scales spill
+  // harder. Smoke shrinks every dimension to keep the ctest in seconds.
+  const std::vector<int> scales = smoke ? std::vector<int>{1}
+                                        : std::vector<int>{1, 2, 4};
+  const std::size_t budget = smoke ? std::size_t{256} * 1024
+                                   : std::size_t{24} * 1024 * 1024;
+
+  std::vector<ScalePoint> points;
+  bool checksums_match = true;
+  bool spill_forced = true;
+
+  bench::print_header(std::string("Graph store backends: peak RSS ") +
+                      (smoke ? "(smoke)" : "(scales 1/2/4)"));
+  bench::print_row({"sf", "nodes", "backend", "rss_mb", "wall_s", "vtime",
+                    "paths", "loads", "evict"},
+                   {5, 10, 10, 10, 9, 12, 8, 8, 8});
+
+  for (const int sf : scales) {
+    ScalePoint pt;
+    pt.sf = sf;
+    pt.wl.parts = static_cast<PartId>(8 * sf);
+    if (smoke) {
+      pt.wl.chain = 600;
+      pt.wl.seg = 100;
+      pt.wl.len = 600;
+      pt.wl.ov = 100;
+    }
+    if (!run_cell_forked(false, pt.wl, budget, &pt.memory) ||
+        !run_cell_forked(true, pt.wl, budget, &pt.spill)) {
+      return 2;
+    }
+    if (pt.memory.checksum != pt.spill.checksum ||
+        pt.memory.paths != pt.spill.paths ||
+        pt.memory.vtime != pt.spill.vtime) {
+      checksums_match = false;
+      std::fprintf(stderr,
+                   "[graph_store] sf=%d backend divergence: "
+                   "crc %08x/%08x paths %zu/%zu vtime %.3f/%.3f\n",
+                   sf, pt.memory.checksum, pt.spill.checksum,
+                   pt.memory.paths, pt.spill.paths, pt.memory.vtime,
+                   pt.spill.vtime);
+    }
+    if (pt.spill.spill.evictions == 0 || pt.spill.spill.loads == 0) {
+      spill_forced = false;
+      std::fprintf(stderr,
+                   "[graph_store] sf=%d budget never forced a spill\n", sf);
+    }
+    for (int b = 0; b < 2; ++b) {
+      const CellResult& r = b == 0 ? pt.memory : pt.spill;
+      bench::print_row(
+          {std::to_string(sf), std::to_string(r.nodes),
+           b == 0 ? "memory" : "csr-spill",
+           bench::fmt(static_cast<double>(r.maxrss_kb) / 1024.0, 1),
+           bench::fmt(r.wall, 2), bench::fmt(r.vtime, 1),
+           std::to_string(r.paths), std::to_string(r.spill.loads),
+           std::to_string(r.spill.evictions)},
+          {5, 10, 10, 10, 9, 12, 8, 8, 8});
+    }
+    std::printf("%-5s rss reduction %.2fx\n", "",
+                pt.reduction());
+    points.push_back(pt);
+  }
+
+  // Full mode gates on the tentpole acceptance: >= 2x peak-RSS reduction at
+  // the largest scale. Smoke graphs are metadata-dominated, so the smoke
+  // gate checks only equivalence and forced spilling.
+  const double last_reduction = points.back().reduction();
+  const bool rss_ok = smoke || last_reduction >= 2.0;
+  if (!rss_ok) {
+    std::fprintf(stderr,
+                 "[graph_store] rss reduction %.2fx at sf=%d below 2x gate\n",
+                 last_reduction, points.back().sf);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[graph_store] cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"graph_store\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"ranks\": %d,\n", kRanks);
+  std::fprintf(f, "  \"budget_bytes\": %zu,\n", budget);
+  std::fprintf(f, "  \"identical_output\": %s,\n",
+               checksums_match ? "true" : "false");
+  std::fprintf(f, "  \"spill_forced\": %s,\n", spill_forced ? "true" : "false");
+  std::fprintf(f, "  \"rss_reduction_at_largest_scale\": %.3f,\n",
+               last_reduction);
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& pt = points[i];
+    std::fprintf(f, "    {\"scale\": %d, \"nodes\": %zu, \"edges\": %zu,\n",
+                 pt.sf, pt.memory.nodes, pt.memory.edges);
+    std::fprintf(f,
+                 "     \"memory\": {\"maxrss_kb\": %ld, \"wall_s\": %.3f, "
+                 "\"vtime\": %.3f, \"paths\": %zu, \"checksum\": %u},\n",
+                 pt.memory.maxrss_kb, pt.memory.wall, pt.memory.vtime,
+                 pt.memory.paths, pt.memory.checksum);
+    std::fprintf(
+        f,
+        "     \"csr_spill\": {\"maxrss_kb\": %ld, \"wall_s\": %.3f, "
+        "\"vtime\": %.3f, \"paths\": %zu, \"checksum\": %u,\n"
+        "       \"writes\": %llu, \"loads\": %llu, \"evictions\": %llu, "
+        "\"peak_resident_bytes\": %llu},\n",
+        pt.spill.maxrss_kb, pt.spill.wall, pt.spill.vtime, pt.spill.paths,
+        pt.spill.checksum,
+        static_cast<unsigned long long>(pt.spill.spill.writes),
+        static_cast<unsigned long long>(pt.spill.spill.loads),
+        static_cast<unsigned long long>(pt.spill.spill.evictions),
+        static_cast<unsigned long long>(pt.spill.spill.peak_resident_bytes));
+    std::fprintf(f, "     \"rss_reduction\": %.3f}%s\n", pt.reduction(),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[graph_store] wrote %s\n", out_path.c_str());
+
+  return (checksums_match && spill_forced && rss_ok) ? 0 : 1;
+}

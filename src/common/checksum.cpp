@@ -1,0 +1,37 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace focus::common {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state = kCrcTable[(state ^ data[i]) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace focus::common

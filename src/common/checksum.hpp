@@ -1,0 +1,25 @@
+// Shared IEEE CRC-32 (reflected, polynomial 0xEDB88320) — the checksum used
+// by both the mpr message frames (src/mpr/fault.*) and the graph-store slice
+// files (src/graph/graph_store.*). One implementation so a frame checksum and
+// a slice checksum can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace focus::common {
+
+/// Incremental interface: seed with crc32_init(), feed byte runs through
+/// crc32_update(), close with crc32_final(). Feeding a buffer in several
+/// runs yields the same value as one run over the concatenation.
+inline std::uint32_t crc32_init() { return 0xffffffffu; }
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t n);
+inline std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xffffffffu;
+}
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+}  // namespace focus::common

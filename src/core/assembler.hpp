@@ -48,6 +48,12 @@ struct FocusConfig {
   /// Wire protocol of the distributed graph stages (6 and 7). Defaults to
   /// the FOCUS_DIST_PROTOCOL environment selection; see dist::DistProtocol.
   dist::DistConfig dist;
+  /// Storage backend of the assembly-graph stages (6 and 7). Defaults to the
+  /// FOCUS_GRAPH_BACKEND environment selection. kCsrSpill builds the
+  /// assembly graph straight into a spill-backed StoredAsmGraph (DESIGN.md
+  /// §8) and parks the multilevel hierarchy on disk while the graph stages
+  /// run; outputs are byte-identical to the in-memory backend.
+  graph::GraphStoreConfig graph_store = graph::GraphStoreConfig::from_env();
 };
 
 /// Virtual + wall time of one pipeline stage.

@@ -13,6 +13,7 @@
 #include "align/banded_nw.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "dist/stored_graph.hpp"
 #include "io/preprocess.hpp"
 #include "mpr/rounds.hpp"
 
@@ -59,8 +60,9 @@ bool mine(std::size_t partition, const mpr::Comm& comm) {
 /// estimator's own cost into `estimator_work` (each rank is charged for it:
 /// in a real deployment every rank computes the schedule redundantly from
 /// replicated partition metadata).
+template <class GraphT>
 std::vector<double> simplify_scan_estimates(
-    const AsmGraph& g, const std::vector<std::vector<NodeId>>& nodes,
+    const GraphT& g, const std::vector<std::vector<NodeId>>& nodes,
     const SimplifyConfig& config, double* estimator_work) {
   std::vector<double> est(nodes.size(), 0.0);
   for (std::size_t p = 0; p < nodes.size(); ++p) {
@@ -71,15 +73,15 @@ std::vector<double> simplify_scan_estimates(
       if (estimator_work != nullptr) {
         *estimator_work += 1.0 + static_cast<double>(out.size());
       }
-      const std::string& cv = g.node(v).contig;
+      const std::size_t cv_size = g.contig_size(v);
       for (const EdgeId e : out) {
         if (out.size() >= 2) {
           est[p] += static_cast<double>(g.live_out_degree(g.edge(e).to));
         }
         const std::size_t offset = g.edge(e).offset;
-        if (offset < cv.size()) {
+        if (offset < cv_size) {
           const std::size_t window =
-              std::min(cv.size() - offset, g.node(g.edge(e).to).contig.size());
+              std::min(cv_size - offset, g.contig_size(g.edge(e).to));
           est[p] += align::banded_align_work(window, window, config.band);
         }
       }
@@ -369,7 +371,8 @@ void ft_shutdown_workers(mpr::Comm& comm, const FtMasterState& st) {
   }
 }
 
-void ft_simplify_master(mpr::Comm& comm, AsmGraph& g,
+template <class GraphT>
+void ft_simplify_master(mpr::Comm& comm, GraphT& g,
                         const std::vector<std::vector<NodeId>>& nodes,
                         const SimplifyConfig& config, PartId nparts,
                         const mpr::FaultConfig& fault, SimplifyStats* stats) {
@@ -465,7 +468,8 @@ void ft_simplify_master(mpr::Comm& comm, AsmGraph& g,
   *stats = ckpt.stats;
 }
 
-void ft_simplify_worker(mpr::Comm& comm, const AsmGraph& g,
+template <class GraphT>
+void ft_simplify_worker(mpr::Comm& comm, const GraphT& g,
                         const std::vector<std::vector<NodeId>>& nodes,
                         const SimplifyConfig& config) {
   TransitiveScratch scratch;
@@ -513,7 +517,8 @@ constexpr int kTagSymContained = 215;
 constexpr int kTagSymTips = 216;
 constexpr int kTagSymBubbles = 217;
 
-void simplify_symmetric_rank(mpr::Comm& comm, AsmGraph& g,
+template <class GraphT>
+void simplify_symmetric_rank(mpr::Comm& comm, GraphT& g,
                              const std::vector<std::vector<NodeId>>& nodes,
                              std::span<const PartId> part,
                              const SimplifyConfig& config,
@@ -895,7 +900,8 @@ void ft_sym_drive(
 /// the loop starts wherever the inherited log ends. The final counters are a
 /// pure function of the log, so any coordinator — original, successor, or a
 /// late orphan finding a complete log — reports the same stats.
-void sym_simplify_coordinate(mpr::Comm& comm, SymWal& wal, AsmGraph& g,
+template <class GraphT>
+void sym_simplify_coordinate(mpr::Comm& comm, SymWal& wal, GraphT& g,
                              const std::vector<std::vector<NodeId>>& nodes,
                              const SimplifyConfig& config, PartId nparts,
                              const mpr::FaultConfig& fault,
@@ -1000,8 +1006,9 @@ void sym_simplify_coordinate(mpr::Comm& comm, SymWal& wal, AsmGraph& g,
   *stats = total;
 }
 
+template <class GraphT>
 ParallelSimplifyResult ft_sym_simplify(
-    AsmGraph& g, const std::vector<std::vector<NodeId>>& nodes, PartId nparts,
+    GraphT& g, const std::vector<std::vector<NodeId>>& nodes, PartId nparts,
     const SimplifyConfig& config, int nranks, mpr::CostModel cost,
     const mpr::FaultPlan& fault_plan, const mpr::FaultConfig& fault) {
   ParallelSimplifyResult out;
@@ -1048,7 +1055,8 @@ ParallelSimplifyResult ft_sym_simplify(
 
 }  // namespace
 
-ParallelSimplifyResult simplify_parallel(AsmGraph& g,
+template <class GraphT>
+ParallelSimplifyResult simplify_parallel(GraphT& g,
                                          std::span<const PartId> part,
                                          PartId nparts,
                                          const SimplifyConfig& config,
@@ -1234,7 +1242,8 @@ namespace {
 
 using Subpaths = std::vector<std::vector<NodeId>>;
 
-void ft_traverse_master(mpr::Comm& comm, const AsmGraph& g,
+template <class GraphT>
+void ft_traverse_master(mpr::Comm& comm, const GraphT& g,
                         const std::vector<std::vector<NodeId>>& nodes,
                         std::span<const PartId> part, PartId nparts,
                         const mpr::FaultConfig& fault, Subpaths* paths) {
@@ -1268,7 +1277,8 @@ void ft_traverse_master(mpr::Comm& comm, const AsmGraph& g,
   ft_shutdown_workers(comm, st);
 }
 
-void ft_traverse_worker(mpr::Comm& comm, const AsmGraph& g,
+template <class GraphT>
+void ft_traverse_worker(mpr::Comm& comm, const GraphT& g,
                         const std::vector<std::vector<NodeId>>& nodes,
                         std::span<const PartId> part) {
   std::vector<bool> visited(g.node_count(), false);
@@ -1313,6 +1323,7 @@ constexpr int kTagSymMeta = 220;
 constexpr int kTagSymPred = 221;
 constexpr int kTagSymJumpQuery = 222;
 constexpr int kTagSymJumpReply = 223;
+constexpr int kTagSymPieces = 224;
 
 struct PredLink {
   std::uint32_t sub;   // the continuation sub-path (routed to its owner)
@@ -1333,8 +1344,9 @@ struct JumpReply {  // all-u32 so the frame has no padding bytes under CRC
   std::uint32_t flags;  // bit 0: target settled; bit 1: target is a cycle
 };
 
+template <class GraphT>
 void traverse_symmetric_rank(
-    mpr::Comm& comm, const AsmGraph& g,
+    mpr::Comm& comm, const GraphT& g,
     const std::vector<std::vector<NodeId>>& nodes,
     std::span<const PartId> part, const std::vector<int>& owner,
     const std::vector<std::vector<std::uint32_t>>& owned, Subpaths* paths) {
@@ -1533,55 +1545,134 @@ void traverse_symmetric_rank(
     }
   }
 
-  // Emission: every owner ships (key, nodes) per sub-path; rank 0 sorts by
-  // key and concatenates runs with equal (kind, group).
-  mpr::Message frame;
-  frame.pack(n);
-  for (std::uint32_t j = 0; j < n; ++j) {
-    FOCUS_CHECK(done[j], "unsettled sub-path after pointer jumping");
-    frame.pack(static_cast<std::uint32_t>(cyc[j]));
-    frame.pack(cyc[j] ? min_id[j] : anc[j]);
-    frame.pack(cyc[j] ? min_dist[j] : dist[j]);
-    frame.pack_vector(*path_of[j]);
+  // Emission (fully symmetric — no rank ever sorts the global piece-key
+  // set): each settled piece is routed to the owner of its group anchor —
+  // the chain's head sub-path or the cycle's minimum-id sub-path — so a
+  // group's pieces land wholly on one rank. That owner sorts only its own
+  // pieces by (kind, group, pos) and concatenates each group's run into a
+  // joined path; rank 0 then k-way merges the per-owner lists, which arrive
+  // pre-sorted by (kind, group). The merged order — chains by ascending
+  // head id, then cycles by ascending minimum id — is exactly the order the
+  // old rank-0 global sort produced.
+  std::vector<mpr::Message> route(static_cast<std::size_t>(size));
+  {
+    std::vector<std::uint32_t> counts(static_cast<std::size_t>(size), 0);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      FOCUS_CHECK(done[j], "unsettled sub-path after pointer jumping");
+      counts[static_cast<std::size_t>(
+          sub_owner[cyc[j] ? min_id[j] : anc[j]])] += 1;
+    }
+    for (int r = 0; r < size; ++r) {
+      route[static_cast<std::size_t>(r)].pack(
+          counts[static_cast<std::size_t>(r)]);
+    }
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const std::uint32_t group = cyc[j] ? min_id[j] : anc[j];
+      mpr::Message& m = route[static_cast<std::size_t>(sub_owner[group])];
+      m.pack(static_cast<std::uint32_t>(cyc[j]));
+      m.pack(group);
+      m.pack(cyc[j] ? min_dist[j] : dist[j]);
+      m.pack_vector(*path_of[j]);
+    }
   }
-  auto gathered = comm.gather(std::move(frame), 0);
+  auto piece_frames =
+      mpr::alltoall_round(comm, std::move(route), kTagSymPieces);
+
+  struct Piece {
+    std::uint32_t kind, group, pos;
+    std::vector<NodeId> nodes;
+  };
+  std::vector<Piece> pieces;
+  for (auto& m : piece_frames) {
+    const auto count = m.unpack<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Piece piece;
+      piece.kind = m.unpack<std::uint32_t>();
+      piece.group = m.unpack<std::uint32_t>();
+      piece.pos = m.unpack<std::uint32_t>();
+      piece.nodes = m.unpack_vector<NodeId>();
+      pieces.push_back(std::move(piece));
+    }
+    FOCUS_CHECK(m.fully_consumed(), "trailing bytes in sub-path frame");
+  }
+  std::int64_t piece_count = static_cast<std::int64_t>(pieces.size());
+  FOCUS_CHECK(comm.allreduce_sum(piece_count) == static_cast<std::int64_t>(S),
+              "sub-path lost in stitching");
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.group != b.group) return a.group < b.group;
+              return a.pos < b.pos;
+            });
+  comm.charge(static_cast<double>(pieces.size()) *
+              std::log2(static_cast<double>(pieces.size()) + 2.0));
+
+  // Join each group's run. Positions are the exact distances pointer
+  // jumping produced, so within a group they must tile 0..len-1 — a gap
+  // means a piece was lost in routing.
+  Subpaths joined_local;
+  std::vector<std::uint64_t> joined_keys;  // kind << 32 | group
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i == 0 || pieces[i].kind != pieces[i - 1].kind ||
+        pieces[i].group != pieces[i - 1].group) {
+      FOCUS_CHECK(pieces[i].pos == 0, "sub-path group missing its anchor");
+      joined_local.emplace_back();
+      joined_keys.push_back(
+          (static_cast<std::uint64_t>(pieces[i].kind) << 32) |
+          pieces[i].group);
+    } else {
+      FOCUS_CHECK(pieces[i].pos == pieces[i - 1].pos + 1,
+                  "sub-path group has a gap");
+    }
+    auto& path = joined_local.back();
+    path.insert(path.end(), pieces[i].nodes.begin(), pieces[i].nodes.end());
+  }
+
+  // Final round: rank 0 merges the per-owner runs — O(J log size), not
+  // O(S log S) — and never touches piece keys again.
+  mpr::Message out_frame;
+  out_frame.pack(static_cast<std::uint32_t>(joined_local.size()));
+  for (std::size_t i = 0; i < joined_local.size(); ++i) {
+    out_frame.pack(joined_keys[i]);
+    out_frame.pack_vector(joined_local[i]);
+  }
+  auto gathered = comm.gather(std::move(out_frame), 0);
   if (comm.rank() == 0) {
-    struct Piece {
-      std::uint32_t kind, group, pos;
-      std::vector<NodeId> nodes;
-    };
-    std::vector<Piece> pieces;
-    pieces.reserve(S);
-    for (auto& m : gathered) {
+    std::vector<std::vector<std::pair<std::uint64_t, std::vector<NodeId>>>>
+        runs(gathered.size());
+    std::size_t total_joined = 0;
+    for (std::size_t r = 0; r < gathered.size(); ++r) {
+      auto& m = gathered[r];
       const auto count = m.unpack<std::uint32_t>();
+      runs[r].reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
-        Piece piece;
-        piece.kind = m.unpack<std::uint32_t>();
-        piece.group = m.unpack<std::uint32_t>();
-        piece.pos = m.unpack<std::uint32_t>();
-        piece.nodes = m.unpack_vector<NodeId>();
-        pieces.push_back(std::move(piece));
+        const auto key = m.unpack<std::uint64_t>();
+        auto run_path = m.unpack_vector<NodeId>();
+        FOCUS_CHECK(runs[r].empty() || runs[r].back().first < key,
+                    "per-owner emission not sorted");
+        runs[r].emplace_back(key, std::move(run_path));
       }
-      FOCUS_CHECK(m.fully_consumed(), "trailing bytes in sub-path frame");
+      FOCUS_CHECK(m.fully_consumed(), "trailing bytes in emission frame");
+      total_joined += runs[r].size();
     }
-    FOCUS_CHECK(pieces.size() == S, "sub-path lost in stitching");
-    std::sort(pieces.begin(), pieces.end(),
-              [](const Piece& a, const Piece& b) {
-                if (a.kind != b.kind) return a.kind < b.kind;
-                if (a.group != b.group) return a.group < b.group;
-                return a.pos < b.pos;
-              });
-    comm.charge(static_cast<double>(S) *
-                std::log2(static_cast<double>(S) + 2.0));
     Subpaths joined;
-    for (std::size_t i = 0; i < pieces.size(); ++i) {
-      if (i == 0 || pieces[i].kind != pieces[i - 1].kind ||
-          pieces[i].group != pieces[i - 1].group) {
-        joined.emplace_back();
+    joined.reserve(total_joined);
+    std::vector<std::size_t> head(runs.size(), 0);
+    for (;;) {
+      std::size_t best = runs.size();
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        if (head[r] >= runs[r].size()) continue;
+        if (best == runs.size() ||
+            runs[r][head[r]].first < runs[best][head[best]].first) {
+          best = r;
+        }
       }
-      auto& path = joined.back();
-      path.insert(path.end(), pieces[i].nodes.begin(), pieces[i].nodes.end());
+      if (best == runs.size()) break;
+      joined.push_back(std::move(runs[best][head[best]].second));
+      ++head[best];
     }
+    comm.charge(static_cast<double>(total_joined) *
+                std::log2(static_cast<double>(size) + 2.0));
     *paths = std::move(joined);
   }
   comm.barrier();
@@ -1591,7 +1682,8 @@ void traverse_symmetric_rank(
 /// phase committed to the log, then joining from the durable record — which
 /// is identical whether this rank collected the sub-paths itself or
 /// inherited them from a crashed predecessor.
-void sym_traverse_coordinate(mpr::Comm& comm, SymWal& wal, const AsmGraph& g,
+template <class GraphT>
+void sym_traverse_coordinate(mpr::Comm& comm, SymWal& wal, const GraphT& g,
                              const std::vector<std::vector<NodeId>>& nodes,
                              std::span<const PartId> part, PartId nparts,
                              const mpr::FaultConfig& fault,
@@ -1633,8 +1725,9 @@ void sym_traverse_coordinate(mpr::Comm& comm, SymWal& wal, const AsmGraph& g,
   comm.charge(join_work);
 }
 
+template <class GraphT>
 ParallelTraverseResult ft_sym_traverse(
-    const AsmGraph& g, const std::vector<std::vector<NodeId>>& nodes,
+    const GraphT& g, const std::vector<std::vector<NodeId>>& nodes,
     std::span<const PartId> part, PartId nparts, int nranks,
     mpr::CostModel cost, const mpr::FaultPlan& fault_plan,
     const mpr::FaultConfig& fault) {
@@ -1667,7 +1760,8 @@ ParallelTraverseResult ft_sym_traverse(
 
 }  // namespace
 
-ParallelTraverseResult traverse_parallel(const AsmGraph& g,
+template <class GraphT>
+ParallelTraverseResult traverse_parallel(const GraphT& g,
                                          std::span<const PartId> part,
                                          PartId nparts, int nranks,
                                          mpr::CostModel cost,
@@ -1804,6 +1898,23 @@ void ft_overlap_worker(mpr::Comm& comm, const io::ReadSet& reads,
 }
 
 }  // namespace
+
+// Explicit instantiations of the templated drivers for the two graph
+// backends (see parallel.hpp).
+#define FOCUS_INSTANTIATE_PARALLEL(G)                                        \
+  template ParallelSimplifyResult simplify_parallel<G>(                      \
+      G&, std::span<const PartId>, PartId, const SimplifyConfig&, int,       \
+      mpr::CostModel, unsigned, const mpr::FaultPlan&,                       \
+      const mpr::FaultConfig&, const DistConfig&);                           \
+  template ParallelTraverseResult traverse_parallel<G>(                      \
+      const G&, std::span<const PartId>, PartId, int, mpr::CostModel,        \
+      unsigned, const mpr::FaultPlan&, const mpr::FaultConfig&,              \
+      const DistConfig&);
+
+FOCUS_INSTANTIATE_PARALLEL(AsmGraph)
+FOCUS_INSTANTIATE_PARALLEL(StoredAsmGraph)
+
+#undef FOCUS_INSTANTIATE_PARALLEL
 
 ParallelOverlapResult overlap_parallel(const io::ReadSet& reads,
                                        const align::OverlapperConfig& config,

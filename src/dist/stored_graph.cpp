@@ -1,0 +1,363 @@
+#include "dist/stored_graph.hpp"
+
+#include "common/error.hpp"
+#include "common/packed_seq.hpp"
+
+namespace focus::dist {
+
+namespace {
+
+// Slice payload layout (little-endian; offsets in bytes):
+//   0              u32  partition id
+//   4              u32  nlocal (nodes in this partition)
+//   8              u64  m_out (total out-edge ids)
+//   16             u64  m_in
+//   24             u32  out_offsets[nlocal + 1]   CSR into out_ids
+//   ...            u32  in_offsets[nlocal + 1]    CSR into in_ids
+//   ...            u32  out_ids[m_out]            global EdgeIds, id-ascending
+//   ...            u32  in_ids[m_in]
+//   ...            u64  seq_off[nlocal]           per-node blob, rel. seq base
+//   seq base       per node: u64 nwords, u64 words[nwords] (2-bit packed,
+//                  packed_seq word layout), u32 n_exc, {u32 pos, u8 ch}[n_exc]
+//                  patching every non-ACGT character for byte-exact decode.
+constexpr std::size_t kSliceHeader = 24;
+
+bool is_acgt(char c) {
+  return c == 'A' || c == 'C' || c == 'G' || c == 'T';
+}
+
+constexpr char kCodeToBase[4] = {'A', 'C', 'G', 'T'};
+
+}  // namespace
+
+struct StoredAsmGraph::SliceView {
+  graph::SpillManager::Blob blob;
+  std::uint32_t nlocal = 0;
+  std::uint64_t m_out = 0;
+  std::uint64_t m_in = 0;
+  std::size_t out_offsets = 0;
+  std::size_t in_offsets = 0;
+  std::size_t out_ids = 0;
+  std::size_t in_ids = 0;
+  std::size_t seq_off = 0;
+  std::size_t seq_base = 0;
+  const std::vector<std::uint8_t>& bytes() const { return *blob; }
+};
+
+StoredAsmGraph::SliceView StoredAsmGraph::slice(PartId p) const {
+  FOCUS_ASSERT(p >= 0 && p < nparts_, "graph store: partition out of range");
+  SliceView view;
+  view.blob = manager_->fetch(static_cast<std::uint32_t>(p));
+  const std::vector<std::uint8_t>& b = view.bytes();
+  view.nlocal = graph::slice_u32(b, 4);
+  view.m_out = graph::slice_u64(b, 8);
+  view.m_in = graph::slice_u64(b, 16);
+  view.out_offsets = kSliceHeader;
+  view.in_offsets = view.out_offsets + 4 * (view.nlocal + std::size_t{1});
+  view.out_ids = view.in_offsets + 4 * (view.nlocal + std::size_t{1});
+  view.in_ids = view.out_ids + 4 * view.m_out;
+  view.seq_off = view.in_ids + 4 * view.m_in;
+  view.seq_base = view.seq_off + 8 * std::size_t{view.nlocal};
+  return view;
+}
+
+std::string StoredAsmGraph::decode_contig(const SliceView& view,
+                                          NodeId v) const {
+  const std::vector<std::uint8_t>& b = view.bytes();
+  const std::uint32_t local = meta_[v].local;
+  const std::size_t len = meta_[v].contig_len;
+  const std::size_t node_off =
+      view.seq_base + graph::slice_u64(b, view.seq_off + 8 * std::size_t{local});
+  const std::uint64_t nwords = graph::slice_u64(b, node_off);
+  const std::size_t words_off = node_off + 8;
+  std::string out(len, 'A');
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if ((i & 31u) == 0) {
+      word = graph::slice_u64(b, words_off + 8 * (i >> 5));
+    }
+    out[i] = kCodeToBase[(word >> ((i & 31u) * 2)) & 3u];
+  }
+  const std::size_t exc_off = words_off + 8 * nwords;
+  const std::uint32_t n_exc = graph::slice_u32(b, exc_off);
+  std::size_t pos = exc_off + 4;
+  for (std::uint32_t i = 0; i < n_exc; ++i) {
+    const std::uint32_t at = graph::slice_u32(b, pos);
+    out[at] = static_cast<char>(graph::slice_u8(b, pos + 4));
+    pos += 5;
+  }
+  return out;
+}
+
+std::string StoredAsmGraph::contig(NodeId v) const {
+  return decode_contig(slice(meta_[v].part), v);
+}
+
+std::vector<EdgeId> StoredAsmGraph::live_out(NodeId v) const {
+  const SliceView view = slice(meta_[v].part);
+  const std::vector<std::uint8_t>& b = view.bytes();
+  const std::uint32_t local = meta_[v].local;
+  const std::uint32_t begin = graph::slice_u32(b, view.out_offsets + 4 * std::size_t{local});
+  const std::uint32_t end =
+      graph::slice_u32(b, view.out_offsets + 4 * (std::size_t{local} + 1));
+  std::vector<EdgeId> out;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const EdgeId e = graph::slice_u32(b, view.out_ids + 4 * std::size_t{i});
+    if (edge_live(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EdgeId> StoredAsmGraph::live_in(NodeId v) const {
+  const SliceView view = slice(meta_[v].part);
+  const std::vector<std::uint8_t>& b = view.bytes();
+  const std::uint32_t local = meta_[v].local;
+  const std::uint32_t begin = graph::slice_u32(b, view.in_offsets + 4 * std::size_t{local});
+  const std::uint32_t end =
+      graph::slice_u32(b, view.in_offsets + 4 * (std::size_t{local} + 1));
+  std::vector<EdgeId> out;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const EdgeId e = graph::slice_u32(b, view.in_ids + 4 * std::size_t{i});
+    if (edge_live(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t StoredAsmGraph::live_out_degree(NodeId v) const {
+  return live_out(v).size();
+}
+
+std::size_t StoredAsmGraph::live_in_degree(NodeId v) const {
+  return live_in(v).size();
+}
+
+std::optional<EdgeId> StoredAsmGraph::find_edge(NodeId u, NodeId v) const {
+  const SliceView view = slice(meta_[u].part);
+  const std::vector<std::uint8_t>& b = view.bytes();
+  const std::uint32_t local = meta_[u].local;
+  const std::uint32_t begin = graph::slice_u32(b, view.out_offsets + 4 * std::size_t{local});
+  const std::uint32_t end =
+      graph::slice_u32(b, view.out_offsets + 4 * (std::size_t{local} + 1));
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const EdgeId e = graph::slice_u32(b, view.out_ids + 4 * std::size_t{i});
+    if (edge_live(e) && edges_[e].to == v) return e;
+  }
+  return std::nullopt;
+}
+
+std::size_t StoredAsmGraph::live_node_count() const {
+  std::size_t n = 0;
+  for (const std::uint8_t r : removed_) {
+    if (r == 0) ++n;
+  }
+  return n;
+}
+
+std::size_t StoredAsmGraph::live_edge_count() const {
+  std::size_t n = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edge_live(e)) ++n;
+  }
+  return n;
+}
+
+std::string StoredAsmGraph::merge_path_contigs(
+    const std::vector<NodeId>& path) const {
+  FOCUS_CHECK(!path.empty(), "cannot merge an empty path");
+  std::string contig = this->contig(path[0]);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto eid = find_edge(path[i - 1], path[i]);
+    FOCUS_CHECK(eid.has_value(), "path without connecting edge");
+    const std::uint32_t overlap = edges_[*eid].overlap;
+    const std::string next = this->contig(path[i]);
+    if (overlap < next.size()) {
+      contig += next.substr(overlap);
+    }
+  }
+  return contig;
+}
+
+void StoredAsmGraph::touch_partition(PartId p) const { (void)slice(p); }
+
+AsmGraph StoredAsmGraph::to_asm_graph() const {
+  AsmGraph out;
+  for (NodeId v = 0; v < meta_.size(); ++v) {
+    const NodeId id = out.add_node(contig(v), reads_[v]);
+    FOCUS_ASSERT(id == v, "graph store: node id drift");
+  }
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const AsmEdge& src = edges_[e];
+    const EdgeId id = out.add_edge(src.from, src.to, src.overlap, src.offset);
+    FOCUS_ASSERT(id == e, "graph store: edge id drift");
+    if (src.verified) out.set_verified(id, src.overlap, src.identity);
+    if (src.removed) out.remove_edge(id);
+  }
+  for (NodeId v = 0; v < meta_.size(); ++v) {
+    if (removed_[v] != 0) out.remove_node(v);
+  }
+  return out;
+}
+
+std::size_t StoredAsmGraph::resident_metadata_bytes() const {
+  return meta_.size() * sizeof(NodeMeta) + reads_.size() * sizeof(Weight) +
+         removed_.size() + edges_.size() * sizeof(AsmEdge);
+}
+
+StoredAsmGraph StoredAsmGraph::from_asm_graph(
+    const AsmGraph& g, std::span<const PartId> part, PartId nparts,
+    const graph::GraphStoreConfig& config) {
+  StoredAsmGraphBuilder builder(config, part, nparts);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    builder.declare_node(static_cast<std::uint32_t>(g.contig_size(v)),
+                         g.node_reads(v));
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const AsmEdge& edge = g.edge(e);
+    builder.add_edge(edge.from, edge.to, edge.overlap, edge.offset);
+  }
+  StoredAsmGraph store =
+      builder.finish([&g](NodeId v) { return g.node(v).contig; });
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const AsmEdge& src = g.edge(e);
+    AsmEdge& dst = store.edges_[e];
+    dst.identity = src.identity;
+    dst.verified = src.verified;
+    dst.removed = src.removed;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    store.removed_[v] = g.node(v).removed ? 1 : 0;
+  }
+  return store;
+}
+
+StoredAsmGraphBuilder::StoredAsmGraphBuilder(
+    const graph::GraphStoreConfig& config, std::span<const PartId> part,
+    PartId nparts) {
+  FOCUS_CHECK(nparts >= 1, "graph store: need at least one partition");
+  g_.nparts_ = nparts;
+  g_.manager_ = std::make_unique<graph::SpillManager>(config);
+  g_.meta_.reserve(part.size());
+  for (const PartId p : part) {
+    FOCUS_CHECK(p >= 0 && p < nparts, "graph store: partition id out of range");
+    StoredAsmGraph::NodeMeta meta;
+    meta.part = p;
+    g_.meta_.push_back(meta);
+  }
+  g_.reads_.resize(part.size(), 0);
+  g_.removed_.resize(part.size(), 0);
+  out_.resize(part.size());
+  in_.resize(part.size());
+}
+
+NodeId StoredAsmGraphBuilder::declare_node(std::uint32_t contig_len,
+                                           Weight reads) {
+  FOCUS_CHECK(declared_ < g_.meta_.size(),
+              "graph store: more nodes declared than the partition vector");
+  FOCUS_CHECK(contig_len > 0, "assembly node needs a contig sequence");
+  FOCUS_CHECK(reads >= 1, "assembly node needs at least one read");
+  const NodeId id = static_cast<NodeId>(declared_++);
+  g_.meta_[id].contig_len = contig_len;
+  g_.reads_[id] = reads;
+  return id;
+}
+
+EdgeId StoredAsmGraphBuilder::add_edge(NodeId from, NodeId to,
+                                       std::uint32_t overlap,
+                                       std::uint32_t offset) {
+  FOCUS_CHECK(from < declared_ && to < declared_,
+              "assembly edge endpoint out of range");
+  FOCUS_CHECK(from != to, "assembly self-loops are not allowed");
+  FOCUS_CHECK(offset < g_.meta_[from].contig_len,
+              "edge offset beyond the source contig");
+  g_.edges_.push_back(AsmEdge{from, to, overlap, offset, 1.0f, false, false});
+  const auto id = static_cast<EdgeId>(g_.edges_.size() - 1);
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+StoredAsmGraph StoredAsmGraphBuilder::finish(
+    const std::function<std::string(NodeId)>& contig_of) {
+  FOCUS_CHECK(declared_ == g_.meta_.size(),
+              "graph store: fewer nodes declared than the partition vector");
+  std::vector<std::vector<NodeId>> locals(
+      static_cast<std::size_t>(g_.nparts_));
+  for (NodeId v = 0; v < g_.meta_.size(); ++v) {
+    auto& list = locals[static_cast<std::size_t>(g_.meta_[v].part)];
+    g_.meta_[v].local = static_cast<std::uint32_t>(list.size());
+    list.push_back(v);
+  }
+  for (PartId p = 0; p < g_.nparts_; ++p) {
+    const std::vector<NodeId>& nodes = locals[static_cast<std::size_t>(p)];
+    // Sequence section first (one partition's contigs in flight at a time):
+    // its per-node offsets go into the table that precedes it.
+    graph::SliceWriter seq;
+    std::vector<std::uint64_t> seq_off(nodes.size());
+    dna::PackedSeq packed;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId v = nodes[i];
+      seq_off[i] = seq.size();
+      const std::string contig = contig_of(v);
+      FOCUS_CHECK(contig.size() == g_.meta_[v].contig_len,
+                  "graph store: contig length differs from declaration");
+      packed.assign(contig);
+      const std::vector<std::uint64_t>& words = packed.base_words();
+      seq.put_u64(words.size());
+      for (const std::uint64_t w : words) seq.put_u64(w);
+      std::uint32_t n_exc = 0;
+      for (const char c : contig) {
+        if (!is_acgt(c)) ++n_exc;
+      }
+      seq.put_u32(n_exc);
+      if (n_exc != 0) {
+        for (std::size_t j = 0; j < contig.size(); ++j) {
+          if (!is_acgt(contig[j])) {
+            seq.put_u32(static_cast<std::uint32_t>(j));
+            seq.put_u8(static_cast<std::uint8_t>(contig[j]));
+          }
+        }
+      }
+    }
+    std::uint64_t m_out = 0;
+    std::uint64_t m_in = 0;
+    for (const NodeId v : nodes) {
+      m_out += out_[v].size();
+      m_in += in_[v].size();
+    }
+    graph::SliceWriter w;
+    w.put_u32(static_cast<std::uint32_t>(p));
+    w.put_u32(static_cast<std::uint32_t>(nodes.size()));
+    w.put_u64(m_out);
+    w.put_u64(m_in);
+    std::uint32_t cursor = 0;
+    for (const NodeId v : nodes) {
+      w.put_u32(cursor);
+      cursor += static_cast<std::uint32_t>(out_[v].size());
+    }
+    w.put_u32(cursor);
+    cursor = 0;
+    for (const NodeId v : nodes) {
+      w.put_u32(cursor);
+      cursor += static_cast<std::uint32_t>(in_[v].size());
+    }
+    w.put_u32(cursor);
+    for (const NodeId v : nodes) {
+      for (const EdgeId e : out_[v]) w.put_u32(e);
+    }
+    for (const NodeId v : nodes) {
+      for (const EdgeId e : in_[v]) w.put_u32(e);
+    }
+    for (const std::uint64_t off : seq_off) w.put_u64(off);
+    std::vector<std::uint8_t> payload = w.take();
+    const std::vector<std::uint8_t> seq_bytes = seq.take();
+    payload.insert(payload.end(), seq_bytes.begin(), seq_bytes.end());
+    g_.manager_->insert(static_cast<std::uint32_t>(p), std::move(payload));
+  }
+  out_.clear();
+  out_.shrink_to_fit();
+  in_.clear();
+  in_.shrink_to_fit();
+  return std::move(g_);
+}
+
+}  // namespace focus::dist

@@ -19,9 +19,12 @@ namespace focus::dist {
 /// extension never crosses a partition boundary (worker behaviour); an empty
 /// `part` means unrestricted (serial behaviour). `visited` persists across
 /// calls by the same worker. Every live scanned node ends up in exactly one
-/// path (possibly a singleton).
+/// path (possibly a singleton). GraphT is dist::AsmGraph or
+/// dist::StoredAsmGraph (explicit instantiations in traverse.cpp); both
+/// backends produce byte-identical paths.
+template <class GraphT>
 std::vector<std::vector<NodeId>> extract_subpaths(
-    const AsmGraph& g, std::span<const NodeId> scan,
+    const GraphT& g, std::span<const NodeId> scan,
     std::span<const PartId> part, std::vector<bool>& visited,
     double* work = nullptr);
 
@@ -34,12 +37,14 @@ void clear_visited(const std::vector<std::vector<NodeId>>& paths,
                    std::vector<bool>& visited);
 
 /// Master-side joining of worker sub-paths; returns the final maximal paths.
+template <class GraphT>
 std::vector<std::vector<NodeId>> join_subpaths(
-    const AsmGraph& g, std::vector<std::vector<NodeId>> subpaths,
+    const GraphT& g, std::vector<std::vector<NodeId>> subpaths,
     double* work = nullptr);
 
 /// Serial driver: extraction over all live nodes followed by joining.
-std::vector<std::vector<NodeId>> traverse_serial(const AsmGraph& g,
+template <class GraphT>
+std::vector<std::vector<NodeId>> traverse_serial(const GraphT& g,
                                                  double* work = nullptr);
 
 }  // namespace focus::dist

@@ -1,28 +1,14 @@
 #include "mpr/fault.hpp"
 
-#include <array>
 #include <cstdlib>
 
+#include "common/checksum.hpp"
 #include "common/rng.hpp"
 #include "mpr/message.hpp"
 
 namespace focus::mpr {
 
 namespace {
-
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr auto kCrcTable = make_crc_table();
 
 /// One draw of the per-(rank, op) hash stream, as a real in [0, 1).
 double hash_real(std::uint64_t& state) {
@@ -38,11 +24,7 @@ double env_rate(const char* name) {
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
-  std::uint32_t c = 0xffffffffu;
-  for (std::size_t i = 0; i < n; ++i) {
-    c = kCrcTable[(c ^ data[i]) & 0xffu] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
+  return common::crc32(data, n);
 }
 
 FaultDecision FaultPlan::decide(Rank rank, std::uint64_t op) const {

@@ -215,6 +215,58 @@ TEST_P(DistProtocolSweep, TraverseCyclesByteIdenticalToMaster) {
   ASSERT_EQ(sym.paths, master.paths) << "ranks " << nranks;
 }
 
+TEST_P(DistProtocolSweep, TraverseMixedChainsAndCyclesByteIdentical) {
+  // Stresses the fully symmetric emission: many sub-path groups — disjoint
+  // cross-partition chains and rings interleaved — whose pieces route to
+  // different group owners, get joined locally, and reach rank 0 as
+  // pre-sorted per-owner runs. The master protocol is the oracle at every
+  // rank count, so the k-way merge must reproduce its exact path order.
+  const int nranks = GetParam();
+  AsmGraph g;
+  Rng rng(77);
+  // Four chains of varying length, node ids interleaved with the rings so
+  // the striped partition scatters every structure across partitions.
+  std::vector<std::vector<NodeId>> chains(4);
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      if (round < 3 + static_cast<int>(c)) {
+        chains[c].push_back(g.add_node(random_seq(rng, 90), 2));
+      }
+    }
+    if (round < 2) {
+      std::vector<NodeId> ring;
+      for (int i = 0; i < 5 + round; ++i) {
+        ring.push_back(g.add_node(random_seq(rng, 70), 2));
+      }
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        g.add_edge(ring[i], ring[(i + 1) % ring.size()], 30);
+      }
+    }
+  }
+  for (const auto& chain : chains) {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      g.add_edge(chain[i], chain[i + 1], 40);
+    }
+  }
+  for (const PartId parts : {PartId{4}, PartId{8}}) {
+    const auto part = striped_partition(g, parts);
+    const auto master =
+        traverse_parallel(g, part, parts, nranks, {}, 1, {}, {}, kMasterCfg);
+    const auto sym =
+        traverse_parallel(g, part, parts, nranks, {}, 1, {}, {}, kSymmetricCfg);
+    ASSERT_EQ(sym.paths, master.paths)
+        << "ranks " << nranks << " parts " << parts;
+    // Every node appears in exactly one emitted path.
+    std::vector<int> seen(g.node_count(), 0);
+    for (const auto& path : sym.paths) {
+      for (const NodeId v : path) seen[v] += 1;
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(seen[v], g.node_live(v) ? 1 : 0) << "node " << v;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(RankCounts, DistProtocolSweep,
                          ::testing::Values(1, 2, 4, 8));
 

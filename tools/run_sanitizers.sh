@@ -10,10 +10,15 @@
 # masking, the FT overlap driver's block replay), the protocol-equivalence
 # suite (master vs symmetric owner-computes simplify/traverse across rank
 # counts, the pointer-jumping sub-path stitch, the shared-WAL rotating
-# coordinator), and the fault-injection suite (label `fault`:
-# crash-at-every-op recovery sweeps — including symmetric-coordinator
-# rotation — and mixed-fault stress of the runtime's timeout/CRC detection
-# paths) are exercised under both memory/UB and data-race checking.
+# coordinator), the graph-store equivalence suite (in-memory AsmGraph vs
+# CSR-spill StoredAsmGraph byte-identity across threads × ranks × protocols
+# under forced-spill budgets, the SpillManager's concurrent LRU fetch/evict
+# paths, plus graph_store_fault_test's crash-at-every-op spill-write sweep
+# and bench_graph_store's forked RSS smoke under label `perf-smoke`), and
+# the fault-injection suite (label `fault`: crash-at-every-op recovery
+# sweeps — including symmetric-coordinator rotation — and mixed-fault
+# stress of the runtime's timeout/CRC detection paths) are exercised under
+# both memory/UB and data-race checking.
 #
 #   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]
 #

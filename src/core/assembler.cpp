@@ -30,9 +30,12 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
   // --- Stage 1: preprocessing (§II-A), parallel over read chunks. ---------
   {
     auto preprocessed = io::preprocess_parallel(
-        raw_reads, config_.preprocess, config_.ranks, config_.cost);
+        raw_reads, config_.preprocess, config_.ranks, config_.cost,
+        config_.fault_plan, config_.fault,
+        config_.dist.protocol == dist::DistProtocol::kSymmetric);
     result.reads = std::move(preprocessed.reads);
     result.preprocess_stats = preprocessed.stats;
+    result.preprocess_run = preprocessed.run;
     FOCUS_CHECK(!result.reads.empty(),
                 "no reads survive preprocessing; relax the trimming thresholds");
     StageTiming t;
@@ -47,10 +50,11 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
     // The distributed-index driver sits behind the fault envelope: an active
     // fault plan covers the overlap phase with the same replay recovery as
     // the graph stages.
-    auto aligned =
-        dist::overlap_parallel(result.reads, config_.overlap, config_.ranks,
-                               config_.cost, config_.fault_plan, config_.fault);
+    auto aligned = dist::overlap_parallel(
+        result.reads, config_.overlap, config_.ranks, config_.cost,
+        config_.fault_plan, config_.fault, config_.dist);
     result.overlaps = std::move(aligned.overlaps);
+    result.align_run = aligned.run;
     StageTiming t;
     t.wall = wall.seconds();
     t.vtime = aligned.run.makespan;
@@ -108,8 +112,10 @@ AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
   {
     auto parted = partition::partition_hierarchy_parallel(
         hierarchy, config_.partitions, config_.partitioner, config_.ranks,
-        config_.cost);
+        config_.cost, config_.fault_plan, config_.fault,
+        config_.dist.protocol == dist::DistProtocol::kSymmetric);
     result.partitioning = std::move(parted.partitioning);
+    result.partition_run = parted.stats;
     StageTiming t;
     t.wall = wall.seconds();
     t.vtime = parted.stats.makespan;

@@ -40,13 +40,15 @@ struct FocusConfig {
   bool use_hybrid_partitioning = true;
   /// Collapse reverse-complement contig twins and drop short contigs.
   std::size_t min_contig_length = 100;
-  /// Fault schedule for the distributed stages (6 and 7). Defaults to the
+  /// Fault schedule for the parallel stages (preprocess, distributed
+  /// overlap, partition, simplify, traverse). Defaults to the
   /// FOCUS_FAULT_SEED environment plan; empty means the fault-free fast path.
   mpr::FaultPlan fault_plan = mpr::FaultPlan::from_env();
-  /// Retry bound and receive deadline for fault recovery.
-  mpr::FaultConfig fault;
-  /// Wire protocol of the distributed graph stages (6 and 7). Defaults to
-  /// the FOCUS_DIST_PROTOCOL environment selection; see dist::DistProtocol.
+  /// Retry bound and receive deadline for fault recovery. Defaults honor
+  /// FOCUS_FAULT_MAX_RETRIES / FOCUS_FAULT_RECV_TIMEOUT.
+  mpr::FaultConfig fault = mpr::FaultConfig::from_env();
+  /// Wire protocol of the fault-tolerant stages (all of the above). Defaults
+  /// to the FOCUS_DIST_PROTOCOL environment selection; see dist::DistProtocol.
   dist::DistConfig dist;
   /// Storage backend of the assembly-graph stages (6 and 7). Defaults to the
   /// FOCUS_GRAPH_BACKEND environment selection. kCsrSpill builds the
@@ -75,7 +77,11 @@ struct AssemblyResult {
   dist::AsmGraph assembly_graph;
   dist::SimplifyStats simplify_stats;
   /// Full runtime stats of the distributed stages, including fault-recovery
-  /// counters (retries, ranks_failed, recovery_vtime).
+  /// counters (retries, ranks_failed, recovery_vtime). `align_run` is
+  /// populated by the distributed-index strategy only.
+  mpr::RunStats preprocess_run;
+  mpr::RunStats align_run;
+  mpr::RunStats partition_run;
   mpr::RunStats simplify_run;
   mpr::RunStats traverse_run;
   std::vector<std::vector<NodeId>> paths;    // maximal assembly paths

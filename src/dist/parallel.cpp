@@ -15,13 +15,18 @@
 #include "common/thread_pool.hpp"
 #include "dist/stored_graph.hpp"
 #include "io/preprocess.hpp"
+#include "mpr/ft_phase.hpp"
 #include "mpr/rounds.hpp"
 
 namespace focus::dist {
 
 DistProtocol dist_protocol_from_env() {
+  // Symmetric is the default as of PR 9: it is makespan-balanced (LPT over
+  // measured scan estimates) and survives coordinator death, at the price of
+  // the WAL replication charge. `master` remains selectable as the §V paper
+  // baseline and fallback.
   const char* env = std::getenv("FOCUS_DIST_PROTOCOL");
-  if (env == nullptr || *env == '\0') return DistProtocol::kMaster;
+  if (env == nullptr || *env == '\0') return DistProtocol::kSymmetric;
   const std::string_view v(env);
   if (v == "master") return DistProtocol::kMaster;
   if (v == "symmetric") return DistProtocol::kSymmetric;
@@ -180,196 +185,23 @@ std::vector<std::vector<NodeId>> partition_node_lists(
 }
 
 // ---------------------------------------------------------------------------
-// Fault-tolerant master/worker protocol (DESIGN.md §7).
-//
-// Commands and record frames flow over two user tags. Every scan command
-// carries a monotone sequence number (workers discard duplicated commands
-// without re-scanning, which keeps them from touching the graph while the
-// master applies) and every record frame carries its (phase, round) so the
-// master can discard stale frames left over from failed rounds.
+// Fault-tolerant master/worker protocol (DESIGN.md §7). The phase machinery
+// — command/record framing, dead-rank reassignment, round replay, the
+// symmetric rotating-coordinator WAL — lives in mpr/ft_phase.hpp, shared by
+// every covered pipeline stage; the graph drivers here supply only the
+// per-phase scan/unpack/apply bodies.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-constexpr int kTagCmd = 100;
-constexpr int kTagRec = 101;
-constexpr std::uint32_t kCmdScan = 1;
-constexpr std::uint32_t kCmdDone = 2;
-
-/// Partition assignment for one round: every partition goes to its original
-/// owner (id mod nranks) when that rank is live; partitions orphaned by dead
-/// ranks are redistributed round-robin over the live ranks (coordinator
-/// included), in ascending rank order — a pure function of the live set, so
-/// replays are deterministic. The coordinating rank is always in the live
-/// set, so at least one rank is available.
-std::vector<std::vector<std::uint32_t>> ft_assign(
-    PartId nparts, const std::vector<std::uint8_t>& live, int size) {
-  std::vector<std::vector<std::uint32_t>> parts_for_rank(
-      static_cast<std::size_t>(size));
-  std::vector<int> live_ranks;
-  for (int r = 0; r < size; ++r) {
-    if (live[static_cast<std::size_t>(r)]) live_ranks.push_back(r);
-  }
-  std::vector<std::uint32_t> orphans;
-  for (PartId p = 0; p < nparts; ++p) {
-    const int owner = static_cast<int>(p % size);
-    if (live[static_cast<std::size_t>(owner)]) {
-      parts_for_rank[static_cast<std::size_t>(owner)].push_back(
-          static_cast<std::uint32_t>(p));
-    } else {
-      orphans.push_back(static_cast<std::uint32_t>(p));
-    }
-  }
-  for (std::size_t i = 0; i < orphans.size(); ++i) {
-    parts_for_rank[static_cast<std::size_t>(live_ranks[i % live_ranks.size()])]
-        .push_back(orphans[i]);
-  }
-  return parts_for_rank;
-}
-
-struct FtMasterState {
-  std::vector<std::uint8_t> live;  // live[0] is the master itself
-  std::uint64_t cmd_seq = 0;
-};
-
-/// One worker-record / master-collect phase under the fault-tolerant
-/// protocol. Returns the per-partition records in the canonical fast-path
-/// order — partitions sorted by (original owner, id) — so downstream applies
-/// see the exact record sequence of a fault-free gather, regardless of which
-/// surviving rank actually scanned each partition. Replays the whole phase on
-/// a worker timeout (marking it dead) or a corrupt frame (worker stays live),
-/// up to FaultConfig::max_retries replays.
-template <typename Rec>
-std::vector<Rec> ft_collect_phase(
-    mpr::Comm& comm, FtMasterState& st, PartId nparts, std::uint32_t phase,
-    const mpr::FaultConfig& fault,
-    const std::function<Rec(std::uint32_t, double*)>& scan_one,
-    const std::function<Rec(mpr::Message&)>& unpack_one) {
-  const int size = comm.size();
-  for (std::uint32_t round = 0;; ++round) {
-    FOCUS_CHECK(static_cast<int>(round) <= fault.max_retries,
-                "fault recovery exhausted max_retries replays of a phase");
-    const auto assign = ft_assign(nparts, st.live, size);
-    for (int r = 1; r < size; ++r) {
-      if (!st.live[static_cast<std::size_t>(r)]) continue;
-      mpr::Message cmd;
-      cmd.pack(kCmdScan);
-      cmd.pack(++st.cmd_seq);
-      cmd.pack(phase);
-      cmd.pack(round);
-      cmd.pack_vector(assign[static_cast<std::size_t>(r)]);
-      comm.send(r, kTagCmd, std::move(cmd));
-    }
-
-    std::vector<std::optional<Rec>> by_part(static_cast<std::size_t>(nparts));
-    double work = 0.0;
-    for (const std::uint32_t p : assign[0]) {
-      by_part[p] = scan_one(p, &work);
-    }
-    comm.charge(work);
-
-    bool failed = false;
-    for (int r = 1; r < size && !failed; ++r) {
-      if (!st.live[static_cast<std::size_t>(r)]) continue;
-      for (;;) {
-        auto res = comm.try_recv(r, kTagRec, fault.recv_timeout_vtime);
-        if (res.status == mpr::RecvStatus::kTimeout) {
-          st.live[static_cast<std::size_t>(r)] = 0;
-          failed = true;
-          break;
-        }
-        if (res.status == mpr::RecvStatus::kCorrupt) {
-          failed = true;  // frame lost in transit; the worker itself is fine
-          break;
-        }
-        const auto fphase = res.msg.unpack<std::uint32_t>();
-        const auto fround = res.msg.unpack<std::uint32_t>();
-        const auto count = res.msg.unpack<std::uint32_t>();
-        if (fphase != phase || fround != round) continue;  // stale frame
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const auto p = res.msg.unpack<std::uint32_t>();
-          FOCUS_CHECK(p < static_cast<std::uint32_t>(nparts),
-                      "record frame names an invalid partition");
-          by_part[p] = unpack_one(res.msg);
-        }
-        FOCUS_CHECK(res.msg.fully_consumed(),
-                    "trailing bytes in record frame");
-        break;
-      }
-    }
-    if (failed) {
-      comm.note_retry();
-      comm.charge_recovery(fault.recv_timeout_vtime *
-                           static_cast<double>(round + 1));
-      continue;
-    }
-
-    std::vector<Rec> out;
-    out.reserve(static_cast<std::size_t>(nparts));
-    for (int r = 0; r < size; ++r) {
-      for (PartId p = r; p < nparts; p += size) {
-        auto& slot = by_part[static_cast<std::size_t>(p)];
-        FOCUS_CHECK(slot.has_value(), "partition missing from phase records");
-        out.push_back(std::move(*slot));
-      }
-    }
-    return out;
-  }
-}
-
-/// Worker loop shared by both drivers: execute scan commands until told to
-/// stop. `scan_and_pack(phase, partition, frame, work)` runs one partition's
-/// read-only scan and appends its records to the frame.
-void ft_worker_loop(
-    mpr::Comm& comm,
-    const std::function<void(std::uint32_t, std::uint32_t, mpr::Message&,
-                             double*)>& scan_and_pack) {
-  std::uint64_t last_seq = 0;
-  for (;;) {
-    mpr::Message cmd;
-    try {
-      cmd = comm.recv(0, kTagCmd);
-    } catch (const mpr::CorruptMessage& e) {
-      // A command this worker cannot decode means it cannot follow the
-      // protocol any more: fail the rank and let the master reassign.
-      throw mpr::RankFailed(e.what());
-    }
-    const auto kind = cmd.unpack<std::uint32_t>();
-    if (kind == kCmdDone) {
-      FOCUS_CHECK(cmd.fully_consumed(), "trailing bytes in done command");
-      return;
-    }
-    FOCUS_CHECK(kind == kCmdScan, "unknown command kind");
-    const auto seq = cmd.unpack<std::uint64_t>();
-    const auto phase = cmd.unpack<std::uint32_t>();
-    const auto round = cmd.unpack<std::uint32_t>();
-    const auto parts = cmd.unpack_vector<std::uint32_t>();
-    FOCUS_CHECK(cmd.fully_consumed(), "trailing bytes in scan command");
-    if (seq <= last_seq) continue;  // duplicated command; already executed
-    last_seq = seq;
-
-    mpr::Message frame;
-    frame.pack(phase);
-    frame.pack(round);
-    frame.pack(static_cast<std::uint32_t>(parts.size()));
-    double work = 0.0;
-    for (const std::uint32_t p : parts) {
-      frame.pack(p);
-      scan_and_pack(phase, p, frame, &work);
-    }
-    comm.charge(work);
-    comm.send(0, kTagRec, std::move(frame));
-  }
-}
-
-void ft_shutdown_workers(mpr::Comm& comm, const FtMasterState& st) {
-  for (int r = 1; r < comm.size(); ++r) {
-    if (!st.live[static_cast<std::size_t>(r)]) continue;
-    mpr::Message done;
-    done.pack(kCmdDone);
-    comm.send(r, kTagCmd, std::move(done));
-  }
-}
+using mpr::FtMasterState;
+using mpr::SymWal;
+using mpr::ft_collect_phase;
+using mpr::ft_shutdown_workers;
+using mpr::ft_sym_drive;
+using mpr::ft_worker_loop;
+using mpr::sym_collect_phase;
+using mpr::sym_wal_commit;
 
 template <class GraphT>
 void ft_simplify_master(mpr::Comm& comm, GraphT& g,
@@ -663,238 +495,6 @@ void simplify_symmetric_rank(mpr::Comm& comm, GraphT& g,
 // half-applied: the graph state always equals exactly the committed log.
 // ---------------------------------------------------------------------------
 
-constexpr int kTagSymCmd = 120;
-constexpr int kTagSymRec = 121;
-
-/// Replicated write-ahead log shared by all ranks. The mutex stands in for
-/// the replicated-storage commit protocol; `live` and `cmd_seq` ride along so
-/// a successor inherits the failure detector's state and the command-sequence
-/// high-water mark (workers discard stale duplicates by sequence number, so
-/// the counter must survive the coordinator).
-struct SymWal {
-  struct Entry {
-    mpr::Message payload;               // canonical records, applied order
-    std::array<std::size_t, 6> counts{};  // SimplifyStats field order
-  };
-  std::mutex mu;
-  std::vector<std::uint8_t> live;
-  std::uint64_t cmd_seq = 0;
-  std::vector<Entry> entries;
-};
-
-/// Durably commit one completed phase and charge the writer for replicating
-/// the entry to every other live rank.
-void sym_wal_commit(mpr::Comm& comm, SymWal& wal, SymWal::Entry entry) {
-  const std::size_t bytes = entry.payload.size_bytes();
-  int nlive = 0;
-  {
-    std::lock_guard<std::mutex> lock(wal.mu);
-    for (const auto l : wal.live) nlive += l;
-    wal.entries.push_back(std::move(entry));
-  }
-  comm.advance_vtime(static_cast<double>(nlive - 1) *
-                     comm.cost().message_cost(bytes));
-}
-
-/// ft_collect_phase for the symmetric protocol: the collector is whichever
-/// rank currently coordinates, and the live set / command sequence live in
-/// the replicated log instead of coordinator-local state.
-template <typename Rec>
-std::vector<Rec> sym_collect_phase(
-    mpr::Comm& comm, SymWal& wal, PartId nparts, std::uint32_t phase,
-    const mpr::FaultConfig& fault,
-    const std::function<Rec(std::uint32_t, double*)>& scan_one,
-    const std::function<Rec(mpr::Message&)>& unpack_one) {
-  const int size = comm.size();
-  const int self = comm.rank();
-  for (std::uint32_t round = 0;; ++round) {
-    FOCUS_CHECK(static_cast<int>(round) <= fault.max_retries,
-                "fault recovery exhausted max_retries replays of a phase");
-    std::vector<std::uint8_t> live;
-    {
-      std::lock_guard<std::mutex> lock(wal.mu);
-      live = wal.live;
-    }
-    const auto assign = ft_assign(nparts, live, size);
-    for (int r = 0; r < size; ++r) {
-      if (r == self || !live[static_cast<std::size_t>(r)]) continue;
-      mpr::Message cmd;
-      cmd.pack(kCmdScan);
-      {
-        std::lock_guard<std::mutex> lock(wal.mu);
-        cmd.pack(++wal.cmd_seq);
-      }
-      cmd.pack(phase);
-      cmd.pack(round);
-      cmd.pack_vector(assign[static_cast<std::size_t>(r)]);
-      comm.send(r, kTagSymCmd, std::move(cmd));
-    }
-
-    std::vector<std::optional<Rec>> by_part(static_cast<std::size_t>(nparts));
-    double work = 0.0;
-    for (const std::uint32_t p : assign[static_cast<std::size_t>(self)]) {
-      by_part[p] = scan_one(p, &work);
-    }
-    comm.charge(work);
-
-    bool failed = false;
-    for (int r = 0; r < size && !failed; ++r) {
-      if (r == self || !live[static_cast<std::size_t>(r)]) continue;
-      for (;;) {
-        auto res = comm.try_recv(r, kTagSymRec, fault.recv_timeout_vtime);
-        if (res.status == mpr::RecvStatus::kTimeout) {
-          std::lock_guard<std::mutex> lock(wal.mu);
-          wal.live[static_cast<std::size_t>(r)] = 0;
-          failed = true;
-          break;
-        }
-        if (res.status == mpr::RecvStatus::kCorrupt) {
-          failed = true;  // frame lost in transit; the worker itself is fine
-          break;
-        }
-        const auto fphase = res.msg.unpack<std::uint32_t>();
-        const auto fround = res.msg.unpack<std::uint32_t>();
-        const auto count = res.msg.unpack<std::uint32_t>();
-        if (fphase != phase || fround != round) continue;  // stale frame
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const auto p = res.msg.unpack<std::uint32_t>();
-          FOCUS_CHECK(p < static_cast<std::uint32_t>(nparts),
-                      "record frame names an invalid partition");
-          by_part[p] = unpack_one(res.msg);
-        }
-        FOCUS_CHECK(res.msg.fully_consumed(),
-                    "trailing bytes in record frame");
-        break;
-      }
-    }
-    if (failed) {
-      comm.note_retry();
-      comm.charge_recovery(fault.recv_timeout_vtime *
-                           static_cast<double>(round + 1));
-      continue;
-    }
-
-    std::vector<Rec> out;
-    out.reserve(static_cast<std::size_t>(nparts));
-    for (int r = 0; r < size; ++r) {
-      for (PartId p = r; p < nparts; p += size) {
-        auto& slot = by_part[static_cast<std::size_t>(p)];
-        FOCUS_CHECK(slot.has_value(), "partition missing from phase records");
-        out.push_back(std::move(*slot));
-      }
-    }
-    return out;
-  }
-}
-
-/// Shared drive loop of the symmetric protocol. Every rank serves scan
-/// commands from whichever rank it currently believes coordinates; on proof
-/// of that rank's death it rotates to the lowest rank it has not proven dead
-/// (death is only ever proven by a receive from a terminated rank throwing).
-/// Rank order is the succession order, so at most one live rank can believe
-/// itself coordinator: a rank self-appoints only after proving every lower
-/// rank terminated, and every higher live rank then blocks on the true
-/// coordinator or on a terminated rank it is about to prove dead — never on
-/// a live non-coordinator.
-void ft_sym_drive(
-    mpr::Comm& comm, SymWal& wal, const mpr::FaultConfig& fault,
-    const std::function<void(std::uint32_t, std::uint32_t, mpr::Message&,
-                             double*)>& scan_and_pack,
-    const std::function<void(std::uint32_t)>& coordinate) {
-  const int size = comm.size();
-  const int self = comm.rank();
-  int coord = 0;
-  std::vector<std::uint8_t> proven_dead(static_cast<std::size_t>(size), 0);
-  std::uint64_t last_seq = 0;
-  while (coord != self) {
-    mpr::Message cmd;
-    try {
-      cmd = comm.recv(coord, kTagSymCmd);
-    } catch (const mpr::CorruptMessage& e) {
-      // A command this rank cannot decode means it cannot follow the
-      // protocol any more: fail the rank and let the coordinator reassign.
-      throw mpr::RankFailed(e.what());
-    } catch (const mpr::RankCrashed&) {
-      throw;  // this rank's own injected crash, not a peer's death
-    } catch (const mpr::RankFailed&) {
-      proven_dead[static_cast<std::size_t>(coord)] = 1;
-      int next = self;
-      for (int r = 0; r < size; ++r) {
-        if (r == self || !proven_dead[static_cast<std::size_t>(r)]) {
-          next = r;
-          break;
-        }
-      }
-      coord = next;
-      continue;
-    }
-    const auto kind = cmd.unpack<std::uint32_t>();
-    if (kind == kCmdDone) {
-      FOCUS_CHECK(cmd.fully_consumed(), "trailing bytes in done command");
-      return;
-    }
-    FOCUS_CHECK(kind == kCmdScan, "unknown command kind");
-    const auto seq = cmd.unpack<std::uint64_t>();
-    const auto phase = cmd.unpack<std::uint32_t>();
-    const auto round = cmd.unpack<std::uint32_t>();
-    const auto parts = cmd.unpack_vector<std::uint32_t>();
-    FOCUS_CHECK(cmd.fully_consumed(), "trailing bytes in scan command");
-    if (seq <= last_seq) continue;  // duplicated command; already executed
-    last_seq = seq;
-
-    mpr::Message frame;
-    frame.pack(phase);
-    frame.pack(round);
-    frame.pack(static_cast<std::uint32_t>(parts.size()));
-    double work = 0.0;
-    for (const std::uint32_t p : parts) {
-      frame.pack(p);
-      scan_and_pack(phase, p, frame, &work);
-    }
-    comm.charge(work);
-    comm.send(coord, kTagSymRec, std::move(frame));
-  }
-
-  // Coordinator (rank 0 initially, or a successor after rotation): join the
-  // log's live set — a successor may have been declared dead by a timeout it
-  // survived — absorb this rank's own death proofs, and resume after the
-  // last committed phase.
-  std::uint32_t phase_start = 0;
-  std::size_t wal_bytes = 0;
-  {
-    std::lock_guard<std::mutex> lock(wal.mu);
-    for (int r = 0; r < size; ++r) {
-      if (proven_dead[static_cast<std::size_t>(r)]) {
-        wal.live[static_cast<std::size_t>(r)] = 0;
-      }
-    }
-    wal.live[static_cast<std::size_t>(self)] = 1;
-    phase_start = static_cast<std::uint32_t>(wal.entries.size());
-    for (const auto& e : wal.entries) wal_bytes += e.payload.size_bytes();
-  }
-  if (self != 0) {
-    // A successor fetches the committed log from replicated storage and
-    // fast-forwards through it before commanding anything.
-    comm.charge_recovery(fault.recv_timeout_vtime +
-                         comm.cost().message_cost(wal_bytes));
-  }
-  coordinate(phase_start);
-
-  // Release every rank still in the log's live set (sends to ranks that
-  // already terminated are harmless).
-  std::vector<std::uint8_t> live;
-  {
-    std::lock_guard<std::mutex> lock(wal.mu);
-    live = wal.live;
-  }
-  for (int r = 0; r < size; ++r) {
-    if (r == self || !live[static_cast<std::size_t>(r)]) continue;
-    mpr::Message done;
-    done.pack(kCmdDone);
-    comm.send(r, kTagSymCmd, std::move(done));
-  }
-}
-
 /// Coordinator body of the fault-tolerant symmetric simplify: the
 /// master-protocol phases, but each phase ends with a durable log commit and
 /// the loop starts wherever the inherited log ends. The final counters are a
@@ -909,6 +509,7 @@ void sym_simplify_coordinate(mpr::Comm& comm, SymWal& wal, GraphT& g,
   TransitiveScratch scratch;
   for (std::uint32_t phase = phase_start; phase < 4; ++phase) {
     SymWal::Entry entry;
+    entry.counts.assign(6, 0);  // SimplifyStats field order
     switch (phase) {
       case 0: {  // Transitive reduction (§V-A).
         auto recs = sym_collect_phase<std::vector<EdgeId>>(
@@ -1849,32 +1450,45 @@ namespace {
 /// function of the read count, independent of rank count and faults.
 constexpr std::size_t kFtQueryBlock = 64;
 
+std::vector<align::Overlap> ft_overlap_scan_block(
+    const io::ReadSet& reads, const align::KmerShard& shard,
+    const align::SubsetRanges& subsets, const align::OverlapperConfig& config,
+    std::uint32_t p, double* work) {
+  std::vector<align::Overlap> out;
+  const std::size_t n = reads.size();
+  const std::size_t begin = p * kFtQueryBlock;
+  const std::size_t end = std::min(n, begin + kFtQueryBlock);
+  align::distributed_block_overlaps(reads, shard, subsets,
+                                    static_cast<ReadId>(begin),
+                                    static_cast<ReadId>(end), config, out,
+                                    work);
+  return out;
+}
+
+std::vector<align::Overlap> ft_overlap_merge(
+    mpr::Comm& comm, std::vector<std::vector<align::Overlap>> recs) {
+  std::vector<align::Overlap> all;
+  for (auto& r : recs) all.insert(all.end(), r.begin(), r.end());
+  comm.charge(static_cast<double>(all.size()) *
+              std::log2(static_cast<double>(all.size()) + 2.0));
+  return align::dedupe_overlaps(std::move(all));
+}
+
 void ft_overlap_master(mpr::Comm& comm, const io::ReadSet& reads,
                        const align::KmerShard& shard,
                        const align::SubsetRanges& subsets,
                        const align::OverlapperConfig& config, PartId nparts,
                        const mpr::FaultConfig& fault,
                        std::vector<align::Overlap>* overlaps) {
-  const std::size_t n = reads.size();
   FtMasterState st;
   st.live.assign(static_cast<std::size_t>(comm.size()), 1);
   auto recs = ft_collect_phase<std::vector<align::Overlap>>(
       comm, st, nparts, 0, fault,
       [&](std::uint32_t p, double* work) {
-        std::vector<align::Overlap> out;
-        const std::size_t begin = p * kFtQueryBlock;
-        const std::size_t end = std::min(n, begin + kFtQueryBlock);
-        align::distributed_block_overlaps(
-            reads, shard, subsets, static_cast<ReadId>(begin),
-            static_cast<ReadId>(end), config, out, work);
-        return out;
+        return ft_overlap_scan_block(reads, shard, subsets, config, p, work);
       },
       [](mpr::Message& m) { return m.unpack_vector<align::Overlap>(); });
-  std::vector<align::Overlap> all;
-  for (auto& r : recs) all.insert(all.end(), r.begin(), r.end());
-  comm.charge(static_cast<double>(all.size()) *
-              std::log2(static_cast<double>(all.size()) + 2.0));
-  *overlaps = align::dedupe_overlaps(std::move(all));
+  *overlaps = ft_overlap_merge(comm, std::move(recs));
   ft_shutdown_workers(comm, st);
 }
 
@@ -1882,19 +1496,53 @@ void ft_overlap_worker(mpr::Comm& comm, const io::ReadSet& reads,
                        const align::KmerShard& shard,
                        const align::SubsetRanges& subsets,
                        const align::OverlapperConfig& config) {
-  const std::size_t n = reads.size();
   ft_worker_loop(comm, [&](std::uint32_t phase, std::uint32_t p,
                            mpr::Message& frame, double* work) {
     FOCUS_CHECK(phase == 0, "unknown overlap phase in scan command");
-    std::vector<align::Overlap> out;
-    const std::size_t begin = p * kFtQueryBlock;
-    const std::size_t end = std::min(n, begin + kFtQueryBlock);
-    align::distributed_block_overlaps(reads, shard, subsets,
-                                      static_cast<ReadId>(begin),
-                                      static_cast<ReadId>(end), config, out,
-                                      work);
-    frame.pack_vector(out);
+    frame.pack_vector(
+        ft_overlap_scan_block(reads, shard, subsets, config, p, work));
   });
+}
+
+void ft_overlap_symmetric(mpr::Comm& comm, const io::ReadSet& reads,
+                          const align::KmerShard& shard,
+                          const align::SubsetRanges& subsets,
+                          const align::OverlapperConfig& config, PartId nparts,
+                          const mpr::FaultConfig& fault, SymWal& wal,
+                          std::vector<align::Overlap>* overlaps) {
+  ft_sym_drive(
+      comm, wal, fault,
+      [&](std::uint32_t phase, std::uint32_t p, mpr::Message& frame,
+          double* work) {
+        FOCUS_CHECK(phase == 0, "unknown overlap phase in scan command");
+        frame.pack_vector(
+            ft_overlap_scan_block(reads, shard, subsets, config, p, work));
+      },
+      [&](std::uint32_t phase_start) {
+        if (phase_start == 0) {
+          auto recs = sym_collect_phase<std::vector<align::Overlap>>(
+              comm, wal, nparts, 0, fault,
+              [&](std::uint32_t p, double* work) {
+                return ft_overlap_scan_block(reads, shard, subsets, config, p,
+                                             work);
+              },
+              [](mpr::Message& m) {
+                return m.unpack_vector<align::Overlap>();
+              });
+          SymWal::Entry entry;
+          entry.payload.pack_vector(ft_overlap_merge(comm, std::move(recs)));
+          sym_wal_commit(comm, wal, std::move(entry));
+        }
+        // Publish from the durable record — identical whether this rank
+        // merged the blocks itself or inherited the committed entry.
+        mpr::Message payload;
+        {
+          std::lock_guard<std::mutex> lock(wal.mu);
+          payload = wal.entries.front().payload;
+        }
+        *overlaps = payload.unpack_vector<align::Overlap>();
+        FOCUS_CHECK(payload.fully_consumed(), "trailing bytes in overlap log");
+      });
 }
 
 }  // namespace
@@ -1920,7 +1568,8 @@ ParallelOverlapResult overlap_parallel(const io::ReadSet& reads,
                                        const align::OverlapperConfig& config,
                                        int nranks, mpr::CostModel cost,
                                        const mpr::FaultPlan& fault_plan,
-                                       const mpr::FaultConfig& fault) {
+                                       const mpr::FaultConfig& fault,
+                                       const DistConfig& dist) {
   if (fault_plan.empty()) {
     auto r = align::find_overlaps_sharded(reads, config, nranks, cost);
     return {std::move(r.overlaps), r.stats};
@@ -1932,7 +1581,10 @@ ParallelOverlapResult overlap_parallel(const io::ReadSet& reads,
   const std::size_t n = reads.size();
   const auto nparts =
       static_cast<PartId>((n + kFtQueryBlock - 1) / kFtQueryBlock);
+  const bool symmetric = dist.protocol == DistProtocol::kSymmetric;
 
+  SymWal wal;
+  wal.live.assign(static_cast<std::size_t>(nranks), 1);
   ParallelOverlapResult out;
   out.run = mpr::Runtime::execute(
       nranks,
@@ -1950,7 +1602,10 @@ ParallelOverlapResult overlap_parallel(const io::ReadSet& reads,
         const align::SubsetRanges subsets(
             io::split_into_subsets(n, config.subsets));
 
-        if (comm.rank() == 0) {
+        if (symmetric) {
+          ft_overlap_symmetric(comm, reads, shard, subsets, config, nparts,
+                               fault, wal, &out.overlaps);
+        } else if (comm.rank() == 0) {
           ft_overlap_master(comm, reads, shard, subsets, config, nparts,
                             fault, &out.overlaps);
         } else {

@@ -120,16 +120,19 @@ struct ParallelOverlapResult {
 
 /// Distributed-index overlap discovery with the drivers' fault envelope.
 /// With an empty plan this is align::find_overlaps_sharded verbatim (the
-/// symmetric three-round protocol). With a plan, the master/worker protocol
-/// runs instead: every rank holds the full replicated k-mer index, query
-/// blocks of kFtQueryBlock reads are the replayable partitions, and
-/// ft_collect_phase re-executes a block on whichever rank survives — blocks
-/// are pure functions of (reads, config), so a recovered run reproduces the
-/// exact fault-free overlap set (tests/mpr_fault_test.cpp).
+/// symmetric three-round protocol). With a plan, a recovery protocol runs
+/// instead: every rank holds the full replicated k-mer index, query blocks
+/// of kFtQueryBlock reads are the replayable partitions, and a block is
+/// re-executed on whichever rank survives — blocks are pure functions of
+/// (reads, config), so a recovered run reproduces the exact fault-free
+/// overlap set (tests/mpr_fault_test.cpp). `dist` picks the recovery wire
+/// protocol: master/worker (rank 0 immortal) or symmetric (WAL-replicated
+/// coordination that survives any rank's death, including rank 0).
 ParallelOverlapResult overlap_parallel(const io::ReadSet& reads,
                                        const align::OverlapperConfig& config,
                                        int nranks, mpr::CostModel cost = {},
                                        const mpr::FaultPlan& fault_plan = {},
-                                       const mpr::FaultConfig& fault = {});
+                                       const mpr::FaultConfig& fault = {},
+                                       const DistConfig& dist = {});
 
 }  // namespace focus::dist

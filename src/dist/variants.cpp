@@ -1,10 +1,12 @@
 #include "dist/variants.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "align/banded_nw.hpp"
 #include "common/error.hpp"
+#include "mpr/ft_phase.hpp"
 
 namespace focus::dist {
 
@@ -156,6 +158,18 @@ std::vector<Variant> canonical_variants(std::vector<Variant> variants) {
   return variants;
 }
 
+// A variant record arriving off the wire must name nodes that exist —
+// without this, a corrupted-but-CRC-colliding or hostile frame could smuggle
+// out-of-range ids into downstream consumers (GFA emission indexes by node).
+void validate_variant(const AsmGraph& g, const Variant& v) {
+  const auto n = static_cast<NodeId>(g.node_count());
+  FOCUS_CHECK(v.branch_point < n, "variant record names an invalid node");
+  FOCUS_CHECK(v.merge_point == kInvalidNode || v.merge_point < n,
+              "variant record names an invalid merge point");
+  FOCUS_CHECK(v.major_allele < n && v.minor_allele < n,
+              "variant record names an invalid allele node");
+}
+
 }  // namespace
 
 std::vector<Variant> find_variants_serial(const AsmGraph& g,
@@ -166,16 +180,103 @@ std::vector<Variant> find_variants_serial(const AsmGraph& g,
   return canonical_variants(find_variants(g, all, config, work));
 }
 
-ParallelVariantResult find_variants_parallel(const AsmGraph& g,
-                                             std::span<const PartId> part,
-                                             PartId nparts,
-                                             const VariantConfig& config,
-                                             int nranks, mpr::CostModel cost) {
+namespace {
+
+ParallelVariantResult find_variants_parallel_ft(
+    const AsmGraph& g, const std::vector<std::vector<NodeId>>& nodes,
+    PartId nparts, const VariantConfig& config, int nranks,
+    mpr::CostModel cost, const mpr::FaultPlan& fault_plan,
+    const mpr::FaultConfig& fault, const DistConfig& dist) {
+  ParallelVariantResult out;
+  using Rec = std::vector<Variant>;
+  const auto scan_one = [&](std::uint32_t p, double* work) {
+    return find_variants(g, nodes[p], config, work);
+  };
+  const auto unpack_one = [&](mpr::Message& m) {
+    auto rec = m.unpack_vector<Variant>();
+    for (const Variant& v : rec) validate_variant(g, v);
+    return rec;
+  };
+  const auto scan_and_pack = [&](std::uint32_t phase, std::uint32_t p,
+                                 mpr::Message& frame, double* work) {
+    FOCUS_CHECK(phase == 0, "unknown variants phase in scan command");
+    frame.pack_vector(find_variants(g, nodes[p], config, work));
+  };
+  const auto merge = [&](mpr::Comm& comm, std::vector<Rec> recs) {
+    std::vector<Variant> all;
+    for (auto& r : recs) all.insert(all.end(), r.begin(), r.end());
+    comm.charge(static_cast<double>(all.size()));
+    return canonical_variants(std::move(all));
+  };
+
+  if (dist.protocol == DistProtocol::kSymmetric) {
+    mpr::SymWal wal;
+    wal.live.assign(static_cast<std::size_t>(nranks), 1);
+    out.run = mpr::Runtime::execute(
+        nranks,
+        [&](mpr::Comm& comm) {
+          mpr::ft_sym_drive(
+              comm, wal, fault, scan_and_pack,
+              [&](std::uint32_t phase_start) {
+                if (phase_start == 0) {
+                  auto recs = mpr::sym_collect_phase<Rec>(
+                      comm, wal, nparts, 0, fault, scan_one, unpack_one);
+                  mpr::SymWal::Entry entry;
+                  entry.payload.pack_vector(merge(comm, std::move(recs)));
+                  mpr::sym_wal_commit(comm, wal, std::move(entry));
+                }
+                // Publish from the durable record — identical whether this
+                // rank merged the records itself or inherited them.
+                mpr::Message payload;
+                {
+                  std::lock_guard<std::mutex> lock(wal.mu);
+                  payload = wal.entries.front().payload;
+                }
+                auto merged = payload.unpack_vector<Variant>();
+                FOCUS_CHECK(payload.fully_consumed(),
+                            "trailing bytes in variant log");
+                out.variants = std::move(merged);
+              });
+        },
+        cost, fault_plan);
+    return out;
+  }
+
+  out.run = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        if (comm.rank() == 0) {
+          mpr::FtMasterState st;
+          st.live.assign(static_cast<std::size_t>(comm.size()), 1);
+          auto recs = mpr::ft_collect_phase<Rec>(comm, st, nparts, 0, fault,
+                                                 scan_one, unpack_one);
+          out.variants = merge(comm, std::move(recs));
+          mpr::ft_shutdown_workers(comm, st);
+        } else {
+          mpr::ft_worker_loop(comm, scan_and_pack);
+        }
+      },
+      cost, fault_plan);
+  return out;
+}
+
+}  // namespace
+
+ParallelVariantResult find_variants_parallel(
+    const AsmGraph& g, std::span<const PartId> part, PartId nparts,
+    const VariantConfig& config, int nranks, mpr::CostModel cost,
+    const mpr::FaultPlan& fault_plan, const mpr::FaultConfig& fault,
+    const DistConfig& dist) {
   FOCUS_CHECK(part.size() == g.node_count(), "partition size mismatch");
   std::vector<std::vector<NodeId>> nodes(static_cast<std::size_t>(nparts));
   for (NodeId v = 0; v < part.size(); ++v) {
     FOCUS_CHECK(part[v] >= 0 && part[v] < nparts, "invalid partition id");
     nodes[static_cast<std::size_t>(part[v])].push_back(v);
+  }
+
+  if (!fault_plan.empty()) {
+    return find_variants_parallel_ft(g, nodes, nparts, config, nranks, cost,
+                                     fault_plan, fault, dist);
   }
 
   ParallelVariantResult out;
@@ -201,6 +302,7 @@ ParallelVariantResult find_variants_parallel(const AsmGraph& g,
           for (auto& m : gathered) {
             auto v = m.unpack_vector<Variant>();
             FOCUS_CHECK(m.fully_consumed(), "trailing bytes in phase frame");
+            for (const Variant& rec : v) validate_variant(g, rec);
             all.insert(all.end(), v.begin(), v.end());
           }
           comm.charge(static_cast<double>(all.size()));

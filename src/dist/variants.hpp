@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dist/asm_graph.hpp"
+#include "dist/parallel.hpp"
 #include "mpr/runtime.hpp"
 
 namespace focus::dist {
@@ -74,12 +75,14 @@ struct ParallelVariantResult {
 
 /// Distributed driver: one partition per worker (round-robin over ranks),
 /// master merge + dedupe — the same §V master/worker protocol as the
-/// cleaning passes.
-ParallelVariantResult find_variants_parallel(const AsmGraph& g,
-                                             std::span<const PartId> part,
-                                             PartId nparts,
-                                             const VariantConfig& config,
-                                             int nranks,
-                                             mpr::CostModel cost = {});
+/// cleaning passes. With a non-empty fault plan the scan runs under the
+/// shared fault-tolerant phase protocol (mpr/ft_phase.hpp): master/worker by
+/// default, the rotating-coordinator WAL when `dist.protocol` is symmetric —
+/// either way recovering the byte-identical fault-free variant list.
+ParallelVariantResult find_variants_parallel(
+    const AsmGraph& g, std::span<const PartId> part, PartId nparts,
+    const VariantConfig& config, int nranks, mpr::CostModel cost = {},
+    const mpr::FaultPlan& fault_plan = {}, const mpr::FaultConfig& fault = {},
+    const DistConfig& dist = {});
 
 }  // namespace focus::dist

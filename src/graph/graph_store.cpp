@@ -66,6 +66,21 @@ GraphStoreConfig GraphStoreConfig::from_env() {
       v != nullptr && *v != '\0') {
     config.spill_dir = v;
   }
+  if (const char* v = std::getenv("FOCUS_GRAPH_WRITE_FAULT");
+      v != nullptr && *v != '\0') {
+    const std::string text(v);
+    for (const char c : text) {
+      FOCUS_CHECK(c >= '0' && c <= '9',
+                  "FOCUS_GRAPH_WRITE_FAULT must be a non-negative integer, "
+                  "got '" + text + "'");
+    }
+    try {
+      config.write_fault_nth = std::stoull(text);
+    } catch (const std::exception&) {
+      FOCUS_THROW("FOCUS_GRAPH_WRITE_FAULT must be a non-negative integer, "
+                  "got '" + text + "'");
+    }
+  }
   return config;
 }
 
@@ -95,7 +110,8 @@ std::size_t parse_mem_size(const std::string& text) {
 }
 
 SpillManager::SpillManager(const GraphStoreConfig& config)
-    : budget_(config.mem_budget_bytes) {
+    : budget_(config.mem_budget_bytes),
+      write_fault_at_(config.write_fault_nth) {
   std::filesystem::path base = config.spill_dir.empty()
                                    ? std::filesystem::temp_directory_path()
                                    : std::filesystem::path(config.spill_dir);

@@ -54,10 +54,19 @@ struct GraphStoreConfig {
   /// Directory for slice files; empty = the system temp directory. Each
   /// SpillManager creates (and removes on destruction) a unique subdirectory.
   std::string spill_dir;
+  /// Inject one simulated mid-write crash on the nth slice write of every
+  /// SpillManager built from this config (1-based; 0 = off). The partial
+  /// temp file is discarded and the write retried — outputs are unchanged,
+  /// stats().write_retries counts the injection. Lets fault soaks exercise
+  /// the disk-fault recovery path through drivers that construct their
+  /// SpillManagers internally (the assembler's kCsrSpill stages).
+  std::uint64_t write_fault_nth = 0;
 
   /// Reads FOCUS_GRAPH_BACKEND ('memory' | 'csr-spill'; unset/empty =
-  /// memory), FOCUS_GRAPH_MEM_BUDGET (bytes, optional K/M/G suffix) and
-  /// FOCUS_GRAPH_SPILL_DIR. Unknown backend names throw.
+  /// memory), FOCUS_GRAPH_MEM_BUDGET (bytes, optional K/M/G suffix),
+  /// FOCUS_GRAPH_SPILL_DIR and FOCUS_GRAPH_WRITE_FAULT (nth-write crash
+  /// injection, a non-negative integer). Unknown backend names and
+  /// malformed numbers throw.
   static GraphStoreConfig from_env();
 };
 

@@ -1,8 +1,10 @@
 #include "io/preprocess.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/dna.hpp"
+#include "mpr/ft_phase.hpp"
 
 namespace focus::io {
 
@@ -108,11 +110,205 @@ ReadSet preprocess(const ReadSet& input, const PreprocessConfig& config,
   return out;
 }
 
-ParallelPreprocessResult preprocess_parallel(const ReadSet& input,
-                                             const PreprocessConfig& config,
-                                             int nranks,
-                                             mpr::CostModel cost) {
+namespace {
+
+/// Input reads per fault-tolerant preprocess partition. Fixed so the block
+/// decomposition — and therefore the canonical output order — is a pure
+/// function of the read count, independent of rank count and faults.
+constexpr std::size_t kFtReadBlock = 64;
+
+/// Per-block scan record: the trimmed (and RC-augmented) reads of one input
+/// block plus the block's drop/trim counters. Blocks concatenated in
+/// ascending id order reproduce the serial preprocess() output exactly.
+struct PreprocessBlock {
+  std::vector<Read> reads;
+  std::uint64_t dropped = 0;
+  std::uint64_t trimmed = 0;
+};
+
+PreprocessBlock preprocess_block(const ReadSet& input,
+                                 const PreprocessConfig& config,
+                                 std::uint32_t p, double* work) {
+  PreprocessBlock block;
+  const std::size_t begin = static_cast<std::size_t>(p) * kFtReadBlock;
+  const std::size_t end = std::min(input.size(), begin + kFtReadBlock);
+  for (std::size_t i = begin; i < end; ++i) {
+    Read r = input[static_cast<ReadId>(i)];
+    *work += static_cast<double>(r.seq.size());
+    const std::uint64_t before = r.seq.size();
+    if (!trim_read(r, config)) {
+      ++block.dropped;
+      continue;
+    }
+    block.trimmed += before - r.seq.size();
+    r.origin = static_cast<ReadId>(i);
+    r.reverse = false;
+    const std::string fwd_seq = r.seq;
+    const std::string fwd_name = r.name;
+    const std::string fwd_qual = r.qual;
+    block.reads.push_back(std::move(r));
+    if (config.add_reverse_complements) {
+      Read rc;
+      rc.name = fwd_name + "/rc";
+      rc.seq = dna::reverse_complement(fwd_seq);
+      rc.qual.assign(fwd_qual.rbegin(), fwd_qual.rend());
+      rc.origin = static_cast<ReadId>(i);
+      rc.reverse = true;
+      block.reads.push_back(std::move(rc));
+    }
+  }
+  return block;
+}
+
+void pack_block(const PreprocessBlock& block, mpr::Message& m) {
+  m.pack(static_cast<std::uint64_t>(block.reads.size()));
+  for (const Read& r : block.reads) {
+    m.pack_string(r.name);
+    m.pack_string(r.seq);
+    m.pack_string(r.qual);
+    m.pack(r.origin);
+    m.pack(static_cast<std::uint8_t>(r.reverse ? 1 : 0));
+  }
+  m.pack(block.dropped);
+  m.pack(block.trimmed);
+}
+
+PreprocessBlock unpack_block(mpr::Message& m) {
+  PreprocessBlock block;
+  const auto count = m.unpack<std::uint64_t>();
+  // A block record can never exceed its input block (×2 with complements) —
+  // reject hostile counts before the read loop starts allocating.
+  FOCUS_CHECK(count <= 2 * kFtReadBlock,
+              "preprocess block record count exceeds block size");
+  block.reads.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Read r;
+    r.name = m.unpack_string();
+    r.seq = m.unpack_string();
+    r.qual = m.unpack_string();
+    r.origin = m.unpack<ReadId>();
+    r.reverse = m.unpack<std::uint8_t>() != 0;
+    block.reads.push_back(std::move(r));
+  }
+  block.dropped = m.unpack<std::uint64_t>();
+  block.trimmed = m.unpack<std::uint64_t>();
+  return block;
+}
+
+/// Concatenate collected blocks (ascending id order) into the final result.
+/// Overwrites rather than appends: under the symmetric protocol a successor
+/// coordinator re-assembles from the log after a predecessor may already
+/// have partially published.
+void assemble_blocks(const ReadSet& input, std::vector<PreprocessBlock> recs,
+                     ParallelPreprocessResult* result) {
+  ReadSet reads;
+  PreprocessStats stats;
+  stats.input_reads = input.size();
+  for (auto& block : recs) {
+    for (auto& r : block.reads) reads.add(std::move(r));
+    stats.dropped_short += static_cast<std::size_t>(block.dropped);
+    stats.bases_trimmed += block.trimmed;
+  }
+  stats.output_reads = reads.size();
+  result->reads = std::move(reads);
+  result->stats = stats;
+}
+
+ParallelPreprocessResult preprocess_parallel_ft(const ReadSet& input,
+                                                const PreprocessConfig& config,
+                                                int nranks, mpr::CostModel cost,
+                                                const mpr::FaultPlan& fault_plan,
+                                                const mpr::FaultConfig& fault,
+                                                bool symmetric) {
+  const auto nparts = static_cast<std::uint32_t>(
+      (input.size() + kFtReadBlock - 1) / kFtReadBlock);
+  ParallelPreprocessResult result;
+
+  const auto scan_one = [&](std::uint32_t p, double* work) {
+    return preprocess_block(input, config, p, work);
+  };
+  const auto unpack_one = [](mpr::Message& m) { return unpack_block(m); };
+  const auto scan_and_pack = [&](std::uint32_t phase, std::uint32_t p,
+                                 mpr::Message& frame, double* work) {
+    FOCUS_CHECK(phase == 0, "unknown preprocess phase in scan command");
+    pack_block(preprocess_block(input, config, p, work), frame);
+  };
+
+  if (symmetric) {
+    mpr::SymWal wal;
+    wal.live.assign(static_cast<std::size_t>(nranks), 1);
+    result.run = mpr::Runtime::execute(
+        nranks,
+        [&](mpr::Comm& comm) {
+          mpr::ft_sym_drive(
+              comm, wal, fault, scan_and_pack,
+              [&](std::uint32_t phase_start) {
+                if (phase_start == 0) {
+                  auto recs = mpr::sym_collect_phase<PreprocessBlock>(
+                      comm, wal, nparts, 0, fault, scan_one, unpack_one,
+                      mpr::FtOrder::kAscending);
+                  mpr::SymWal::Entry entry;
+                  entry.payload.pack(static_cast<std::uint32_t>(recs.size()));
+                  for (const auto& block : recs) {
+                    pack_block(block, entry.payload);
+                  }
+                  mpr::sym_wal_commit(comm, wal, std::move(entry));
+                }
+                // Assemble from the durable record — identical whether this
+                // rank collected the blocks itself or inherited them from a
+                // crashed predecessor.
+                mpr::Message payload;
+                {
+                  std::lock_guard<std::mutex> lock(wal.mu);
+                  payload = wal.entries.front().payload;
+                }
+                const auto count = payload.unpack<std::uint32_t>();
+                FOCUS_CHECK(count == nparts,
+                            "preprocess log holds the wrong block count");
+                std::vector<PreprocessBlock> recs;
+                recs.reserve(count);
+                for (std::uint32_t i = 0; i < count; ++i) {
+                  recs.push_back(unpack_block(payload));
+                }
+                FOCUS_CHECK(payload.fully_consumed(),
+                            "trailing bytes in preprocess log");
+                assemble_blocks(input, std::move(recs), &result);
+              });
+        },
+        cost, fault_plan);
+    return result;
+  }
+
+  result.run = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        if (comm.rank() == 0) {
+          mpr::FtMasterState st;
+          st.live.assign(static_cast<std::size_t>(comm.size()), 1);
+          auto recs = mpr::ft_collect_phase<PreprocessBlock>(
+              comm, st, nparts, 0, fault, scan_one, unpack_one,
+              mpr::FtOrder::kAscending);
+          assemble_blocks(input, std::move(recs), &result);
+          mpr::ft_shutdown_workers(comm, st);
+        } else {
+          mpr::ft_worker_loop(comm, scan_and_pack);
+        }
+      },
+      cost, fault_plan);
+  return result;
+}
+
+}  // namespace
+
+ParallelPreprocessResult preprocess_parallel(
+    const ReadSet& input, const PreprocessConfig& config, int nranks,
+    mpr::CostModel cost, const mpr::FaultPlan& fault_plan,
+    const mpr::FaultConfig& fault, bool symmetric) {
   FOCUS_CHECK(nranks >= 1, "need at least one rank");
+  if (!fault_plan.empty()) {
+    return preprocess_parallel_ft(input, config, nranks, cost, fault_plan,
+                                  fault, symmetric);
+  }
   ParallelPreprocessResult result;
   result.run = mpr::Runtime::execute(
       nranks,

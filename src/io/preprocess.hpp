@@ -72,9 +72,18 @@ struct ParallelPreprocessResult {
 /// mpr-parallel preprocessing: each rank trims and reverse-complements a
 /// contiguous chunk of the input; rank 0 gathers the chunks in rank order,
 /// so the output is identical to the serial preprocess().
-ParallelPreprocessResult preprocess_parallel(const ReadSet& input,
-                                             const PreprocessConfig& config,
-                                             int nranks,
-                                             mpr::CostModel cost = {});
+///
+/// With a non-empty fault plan the stage runs under the shared
+/// fault-tolerant phase protocol (mpr/ft_phase.hpp) over fixed 64-read
+/// blocks — the block decomposition is a pure function of the read count, so
+/// replayed blocks reproduce the serial output byte for byte regardless of
+/// which surviving rank scans them. `symmetric` selects the rotating-
+/// coordinator WAL protocol (survives a rank-0 crash) instead of
+/// master/worker; it is a plain bool rather than a dist::DistConfig because
+/// the io layer sits below dist.
+ParallelPreprocessResult preprocess_parallel(
+    const ReadSet& input, const PreprocessConfig& config, int nranks,
+    mpr::CostModel cost = {}, const mpr::FaultPlan& fault_plan = {},
+    const mpr::FaultConfig& fault = {}, bool symmetric = false);
 
 }  // namespace focus::io

@@ -1,6 +1,8 @@
 #include "mpr/fault.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <string>
 
 #include "common/checksum.hpp"
 #include "common/rng.hpp"
@@ -15,10 +17,46 @@ double hash_real(std::uint64_t& state) {
   return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
 }
 
+// Strict env parsers: a set-but-malformed knob is an operator error, never a
+// silent fallback — the error names the variable and the offending value
+// (same contract as the malformed-FASTQ diagnostics in io/preprocess).
+
+double env_double(const char* name, const char* v) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (*v == '\0' || end == nullptr || *end != '\0' || errno == ERANGE) {
+    FOCUS_THROW(std::string(name) + " must be a number, got '" + v + "'");
+  }
+  return parsed;
+}
+
 double env_rate(const char* name) {
   const char* v = std::getenv(name);
   if (v == nullptr) return 0.0;
-  return std::strtod(v, nullptr);
+  const double rate = env_double(name, v);
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    FOCUS_THROW(std::string(name) + " must be a probability in [0, 1], got '" +
+                v + "'");
+  }
+  return rate;
+}
+
+std::uint64_t env_u64(const char* name, const char* v) {
+  for (const char* c = v; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') {
+      FOCUS_THROW(std::string(name) +
+                  " must be an unsigned integer, got '" + v + "'");
+    }
+  }
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t parsed = std::strtoull(v, &end, 10);
+  if (*v == '\0' || end == nullptr || *end != '\0' || errno == ERANGE) {
+    FOCUS_THROW(std::string(name) +
+                " must be an unsigned integer, got '" + v + "'");
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -67,8 +105,20 @@ FaultDecision FaultPlan::decide(Rank rank, std::uint64_t op) const {
 FaultPlan FaultPlan::from_env() {
   FaultPlan plan;
   const char* seed_env = std::getenv("FOCUS_FAULT_SEED");
-  if (seed_env == nullptr) return plan;
-  plan.seed = std::strtoull(seed_env, nullptr, 10);
+  if (seed_env == nullptr) {
+    // A rate knob without the seed would be silently inert — the operator
+    // believes faults are being injected when none are. Reject it instead.
+    for (const char* name : {"FOCUS_FAULT_CRASH", "FOCUS_FAULT_DROP",
+                             "FOCUS_FAULT_DUP", "FOCUS_FAULT_CORRUPT",
+                             "FOCUS_FAULT_DELAY"}) {
+      if (std::getenv(name) != nullptr) {
+        FOCUS_THROW(std::string(name) +
+                    " is set but has no effect without FOCUS_FAULT_SEED");
+      }
+    }
+    return plan;
+  }
+  plan.seed = env_u64("FOCUS_FAULT_SEED", seed_env);
   plan.p_crash = env_rate("FOCUS_FAULT_CRASH");
   plan.p_drop = env_rate("FOCUS_FAULT_DROP");
   plan.p_duplicate = env_rate("FOCUS_FAULT_DUP");
@@ -80,6 +130,28 @@ FaultPlan FaultPlan::from_env() {
     plan.p_drop = plan.p_duplicate = plan.p_corrupt = plan.p_delay = 0.01;
   }
   return plan;
+}
+
+FaultConfig FaultConfig::from_env() {
+  FaultConfig config;
+  if (const char* v = std::getenv("FOCUS_FAULT_MAX_RETRIES")) {
+    const std::uint64_t retries = env_u64("FOCUS_FAULT_MAX_RETRIES", v);
+    if (retries == 0 || retries > 1000) {
+      FOCUS_THROW(std::string("FOCUS_FAULT_MAX_RETRIES must be in [1, 1000]") +
+                  ", got '" + v + "'");
+    }
+    config.max_retries = static_cast<int>(retries);
+  }
+  if (const char* v = std::getenv("FOCUS_FAULT_RECV_TIMEOUT")) {
+    const double timeout = env_double("FOCUS_FAULT_RECV_TIMEOUT", v);
+    if (!(timeout > 0.0)) {
+      FOCUS_THROW(std::string("FOCUS_FAULT_RECV_TIMEOUT must be a positive "
+                              "virtual-time interval, got '") +
+                  v + "'");
+    }
+    config.recv_timeout_vtime = timeout;
+  }
+  return config;
 }
 
 std::uint32_t Message::checksum() const {

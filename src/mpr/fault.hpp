@@ -113,6 +113,11 @@ struct FaultConfig {
   /// Virtual-time deadline charged per timed-out receive; also the base unit
   /// of the linear retry backoff charged to the master's clock.
   double recv_timeout_vtime = 1e-3;
+
+  /// Config from FOCUS_FAULT_MAX_RETRIES / FOCUS_FAULT_RECV_TIMEOUT; unset
+  /// variables keep the defaults, malformed ones throw with the offending
+  /// value.
+  static FaultConfig from_env();
 };
 
 }  // namespace focus::mpr

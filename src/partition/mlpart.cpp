@@ -1,11 +1,13 @@
 #include "partition/mlpart.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "mpr/ft_phase.hpp"
 #include "partition/partition.hpp"
 
 namespace focus::partition {
@@ -407,12 +409,354 @@ HierarchyPartitioning partition_hierarchy(const GraphHierarchy& h, PartId k,
   return result;
 }
 
+namespace {
+
+// --- Fault-tolerant mpr driver (DESIGN.md §7 / §7b) -----------------------
+//
+// Under a non-empty fault plan the driver re-expresses the three phases of
+// the fault-free protocol as ft_phase.hpp phases:
+//  * bisection step s (phase s, partitions = the 2^s regions of that step):
+//    the coordinator rebuilds the regions from its evolving labels and ships
+//    each region's node list + weight inside the scan command (pack_state),
+//    so workers are stateless and a replayed scan is a pure function of the
+//    command payload plus the replicated finest graph. Applying the side
+//    vectors to the labels happens between comm ops, so it is crash-atomic.
+//  * lift: recomputed locally by whichever rank coordinates (deterministic
+//    from the labels), charged like the fault-free replicated lift.
+//  * refinement (phase log2(k), partitions = hierarchy levels): commands
+//    carry the lifted level labels; records are the refined labels.
+// Seeds are mix_seed(seed, phase, region) — identical to the fault-free
+// driver's (step_counter, r) — so the recovered partitioning is
+// byte-identical to the fault-free one.
+
+std::uint32_t bisection_steps(PartId k) {
+  std::uint32_t s = 0;
+  while ((static_cast<PartId>(1) << s) < k) ++s;
+  return s;
+}
+
+// Regions and node weights of one bisection step, gathered from the evolving
+// labels in ascending node order — exactly recursive_bisection's gather.
+struct StepRegions {
+  std::vector<std::vector<NodeId>> regions;
+  std::vector<Weight> weights;
+};
+
+StepRegions step_regions(const Graph& g, const std::vector<PartId>& part,
+                         PartId current_parts) {
+  StepRegions s;
+  s.regions.resize(static_cast<std::size_t>(current_parts));
+  s.weights.assign(static_cast<std::size_t>(current_parts), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    s.regions[static_cast<std::size_t>(part[v])].push_back(v);
+    s.weights[static_cast<std::size_t>(part[v])] += g.node_weight(v);
+  }
+  return s;
+}
+
+// Applies one step's side vectors to the labels. The side vectors crossed
+// the wire, so the size match is a CHECK, not an assert.
+void apply_sides(const StepRegions& s,
+                 const std::vector<std::vector<std::uint8_t>>& sides,
+                 PartId current_parts, std::vector<PartId>& part) {
+  FOCUS_CHECK(sides.size() == s.regions.size(),
+              "bisection step record count mismatch");
+  for (std::size_t r = 0; r < s.regions.size(); ++r) {
+    FOCUS_CHECK(sides[r].size() == s.regions[r].size(),
+                "bisection side vector does not match its region");
+    for (std::size_t i = 0; i < s.regions[r].size(); ++i) {
+      if (sides[r][i] != 0) {
+        part[s.regions[r][i]] =
+            static_cast<PartId>(static_cast<PartId>(r) + current_parts);
+      }
+    }
+  }
+}
+
+// Worker-side cache of shipped scan inputs, keyed by (phase, partition).
+// Overwritten on every (re)delivered command, so replayed rounds always
+// scan the state the coordinator just shipped.
+struct FtScanState {
+  struct RegionCmd {
+    std::vector<NodeId> nodes;
+    Weight weight = 0;
+  };
+  std::unordered_map<std::uint64_t, RegionCmd> regions;          // bisection
+  std::unordered_map<std::uint64_t, std::vector<PartId>> levels;  // refinement
+
+  static std::uint64_t key(std::uint32_t phase, std::uint32_t p) {
+    return (static_cast<std::uint64_t>(phase) << 32) | p;
+  }
+};
+
+ParallelPartitionResult partition_hierarchy_parallel_ft(
+    const GraphHierarchy& h, PartId k, const PartitionerConfig& config,
+    int nranks, mpr::CostModel cost, const mpr::FaultPlan& fault_plan,
+    const mpr::FaultConfig& fault, bool symmetric) {
+  const Graph& finest = h.finest();
+  const std::uint32_t nsteps = bisection_steps(k);
+  const auto depth = static_cast<std::uint32_t>(h.depth());
+
+  ParallelPartitionResult out;
+  out.partitioning.parts = k;
+
+  // A level record arriving off the wire must be a complete labeling.
+  const auto validate_level = [&](std::uint32_t l,
+                                  const std::vector<PartId>& labels) {
+    FOCUS_CHECK(l < depth, "refinement record names an invalid level");
+    FOCUS_CHECK(labels.size() == h.levels[l].node_count(),
+                "refinement level record size mismatch");
+    for (const PartId x : labels) {
+      FOCUS_CHECK(x >= 0 && x < k, "refinement label out of range");
+    }
+  };
+
+  // Worker-side hooks: consume shipped state, then scan from it.
+  const auto make_unpack_state = [&](FtScanState& state) {
+    return [&, nsteps](std::uint32_t phase, std::uint32_t p,
+                       mpr::Message& cmd) {
+      if (phase < nsteps) {
+        FtScanState::RegionCmd rc;
+        rc.nodes = cmd.unpack_vector<NodeId>();
+        rc.weight = cmd.unpack<Weight>();
+        for (const NodeId v : rc.nodes) {
+          FOCUS_CHECK(v < finest.node_count(),
+                      "region command names an invalid node");
+        }
+        state.regions[FtScanState::key(phase, p)] = std::move(rc);
+      } else {
+        FOCUS_CHECK(phase == nsteps, "unknown partition phase in command");
+        auto labels = cmd.unpack_vector<PartId>();
+        validate_level(p, labels);
+        state.levels[FtScanState::key(phase, p)] = std::move(labels);
+      }
+    };
+  };
+  const auto make_scan_and_pack = [&](FtScanState& state) {
+    return [&, nsteps](std::uint32_t phase, std::uint32_t p,
+                       mpr::Message& frame, double* work) {
+      if (phase < nsteps) {
+        const auto it = state.regions.find(FtScanState::key(phase, p));
+        FOCUS_CHECK(it != state.regions.end(),
+                    "scan command carried no state for its region");
+        frame.pack_vector(bisect_region(
+            finest, it->second.nodes, config,
+            mix_seed(config.seed, phase, p), it->second.weight, work,
+            /*pool=*/nullptr));
+      } else {
+        const auto it = state.levels.find(FtScanState::key(phase, p));
+        FOCUS_CHECK(it != state.levels.end(),
+                    "scan command carried no state for its level");
+        std::vector<PartId> refined = it->second;
+        kway_kl_refine(h.levels[p], refined, k, config.kway, work);
+        frame.pack_vector(refined);
+      }
+    };
+  };
+
+  // Coordinator-side per-phase pieces (shared by both protocols).
+  const auto bisect_scan_one = [&](const StepRegions& regs, std::uint32_t s) {
+    return [&, s](std::uint32_t p, double* work) {
+      return bisect_region(finest, regs.regions[p], config,
+                           mix_seed(config.seed, s, p), regs.weights[p], work,
+                           /*pool=*/nullptr);
+    };
+  };
+  const auto bisect_pack_state = [&](const StepRegions& regs) {
+    return [&](std::uint32_t p, mpr::Message& cmd) {
+      cmd.pack_vector(regs.regions[p]);
+      cmd.pack(regs.weights[p]);
+    };
+  };
+  const auto unpack_side = [](mpr::Message& m) {
+    auto side = m.unpack_vector<std::uint8_t>();
+    for (const std::uint8_t v : side) {
+      FOCUS_CHECK(v <= 1, "bisection side record is not a 0/1 vector");
+    }
+    return side;
+  };
+  const auto refine_scan_one =
+      [&](const std::vector<std::vector<PartId>>& levels) {
+        return [&](std::uint32_t l, double* work) {
+          std::vector<PartId> refined = levels[l];
+          kway_kl_refine(h.levels[l], refined, k, config.kway, work);
+          return refined;
+        };
+      };
+  const auto refine_pack_state =
+      [&](const std::vector<std::vector<PartId>>& levels) {
+        return [&](std::uint32_t l, mpr::Message& cmd) {
+          cmd.pack_vector(levels[l]);
+        };
+      };
+  const auto unpack_level = [](mpr::Message& m) {
+    return m.unpack_vector<PartId>();
+  };
+  const auto charge_lift = [&](mpr::Comm& comm) {
+    double lift_work = 0.0;
+    for (std::size_t l = 0; l + 1 < h.depth(); ++l) {
+      lift_work += static_cast<double>(h.levels[l].node_count());
+    }
+    comm.charge(lift_work);
+  };
+
+  if (symmetric) {
+    mpr::SymWal wal;
+    wal.live.assign(static_cast<std::size_t>(nranks), 1);
+    out.stats = mpr::Runtime::execute(
+        nranks,
+        [&](mpr::Comm& comm) {
+          FtScanState state;
+          mpr::ft_sym_drive(
+              comm, wal, fault, make_scan_and_pack(state),
+              [&](std::uint32_t phase_start) {
+                // Rebuild the labels: committed bisection steps are replayed
+                // from the log (a successor inherits them), the rest are
+                // collected live and committed one entry per step.
+                std::vector<PartId> part(finest.node_count(), 0);
+                PartId current_parts = 1;
+                const std::uint32_t done =
+                    std::min(phase_start, nsteps);
+                for (std::uint32_t s = 0; s < nsteps; ++s) {
+                  const StepRegions regs =
+                      step_regions(finest, part, current_parts);
+                  std::vector<std::vector<std::uint8_t>> sides;
+                  if (s < done) {
+                    mpr::Message payload;
+                    {
+                      std::lock_guard<std::mutex> lock(wal.mu);
+                      payload = wal.entries[s].payload;
+                    }
+                    sides.resize(static_cast<std::size_t>(current_parts));
+                    for (auto& side : sides) side = unpack_side(payload);
+                    FOCUS_CHECK(payload.fully_consumed(),
+                                "trailing bytes in bisection log entry");
+                  } else {
+                    sides = mpr::sym_collect_phase<std::vector<std::uint8_t>>(
+                        comm, wal, static_cast<std::uint32_t>(current_parts),
+                        s, fault, bisect_scan_one(regs, s), unpack_side,
+                        mpr::FtOrder::kAscending, bisect_pack_state(regs));
+                    mpr::SymWal::Entry entry;
+                    for (const auto& side : sides) {
+                      entry.payload.pack_vector(side);
+                    }
+                    entry.counts.assign(1, sides.size());
+                    mpr::sym_wal_commit(comm, wal, std::move(entry));
+                  }
+                  apply_sides(regs, sides, current_parts, part);
+                  current_parts *= 2;
+                }
+
+                // Lift is recomputed deterministically by whichever rank
+                // coordinates — cheaper than logging every level.
+                charge_lift(comm);
+                auto levels = lift_partition(h, part, k);
+
+                if (config.kway_refinement) {
+                  bool committed = false;
+                  {
+                    std::lock_guard<std::mutex> lock(wal.mu);
+                    committed = wal.entries.size() > nsteps;
+                  }
+                  if (!committed) {
+                    auto refined = mpr::sym_collect_phase<std::vector<PartId>>(
+                        comm, wal, depth, nsteps, fault,
+                        refine_scan_one(levels), unpack_level,
+                        mpr::FtOrder::kAscending, refine_pack_state(levels));
+                    mpr::SymWal::Entry entry;
+                    for (const auto& labels : refined) {
+                      entry.payload.pack_vector(labels);
+                    }
+                    entry.counts.assign(1, refined.size());
+                    mpr::sym_wal_commit(comm, wal, std::move(entry));
+                  }
+                  // Publish from the durable record — identical whether this
+                  // rank refined the levels itself or inherited them.
+                  mpr::Message payload;
+                  {
+                    std::lock_guard<std::mutex> lock(wal.mu);
+                    payload = wal.entries[nsteps].payload;
+                  }
+                  for (std::uint32_t l = 0; l < depth; ++l) {
+                    levels[l] = payload.unpack_vector<PartId>();
+                    validate_level(l, levels[l]);
+                  }
+                  FOCUS_CHECK(payload.fully_consumed(),
+                              "trailing bytes in refinement log entry");
+                }
+
+                out.partitioning.levels = std::move(levels);
+                out.partitioning.finest_cut =
+                    edge_cut(finest, out.partitioning.levels[0]);
+              },
+              make_unpack_state(state));
+        },
+        cost, fault_plan);
+    return out;
+  }
+
+  out.stats = mpr::Runtime::execute(
+      nranks,
+      [&](mpr::Comm& comm) {
+        if (comm.rank() == 0) {
+          mpr::FtMasterState st;
+          st.live.assign(static_cast<std::size_t>(comm.size()), 1);
+
+          std::vector<PartId> part(finest.node_count(), 0);
+          PartId current_parts = 1;
+          for (std::uint32_t s = 0; s < nsteps; ++s) {
+            const StepRegions regs = step_regions(finest, part, current_parts);
+            const auto sides =
+                mpr::ft_collect_phase<std::vector<std::uint8_t>>(
+                    comm, st, static_cast<std::uint32_t>(current_parts), s,
+                    fault, bisect_scan_one(regs, s), unpack_side,
+                    mpr::FtOrder::kAscending, bisect_pack_state(regs));
+            apply_sides(regs, sides, current_parts, part);
+            current_parts *= 2;
+          }
+
+          charge_lift(comm);
+          auto levels = lift_partition(h, part, k);
+
+          if (config.kway_refinement) {
+            auto refined = mpr::ft_collect_phase<std::vector<PartId>>(
+                comm, st, depth, nsteps, fault, refine_scan_one(levels),
+                unpack_level, mpr::FtOrder::kAscending,
+                refine_pack_state(levels));
+            for (std::uint32_t l = 0; l < depth; ++l) {
+              validate_level(l, refined[l]);
+              levels[l] = std::move(refined[l]);
+            }
+          }
+
+          out.partitioning.levels = std::move(levels);
+          out.partitioning.finest_cut =
+              edge_cut(finest, out.partitioning.levels[0]);
+          mpr::ft_shutdown_workers(comm, st);
+        } else {
+          FtScanState state;
+          mpr::ft_worker_loop(comm, make_scan_and_pack(state),
+                              make_unpack_state(state));
+        }
+      },
+      cost, fault_plan);
+  return out;
+}
+
+}  // namespace
+
 ParallelPartitionResult partition_hierarchy_parallel(
     const GraphHierarchy& h, PartId k, const PartitionerConfig& config,
-    int nranks, mpr::CostModel cost) {
+    int nranks, mpr::CostModel cost, const mpr::FaultPlan& fault_plan,
+    const mpr::FaultConfig& fault, bool symmetric) {
   check_k(k);
   FOCUS_CHECK(nranks >= 1, "need at least one rank");
   const Graph& finest = h.finest();
+
+  if (!fault_plan.empty()) {
+    return partition_hierarchy_parallel_ft(h, k, config, nranks, cost,
+                                           fault_plan, fault, symmetric);
+  }
 
   ParallelPartitionResult out;
   out.partitioning.parts = k;

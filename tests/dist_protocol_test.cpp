@@ -126,19 +126,20 @@ class ScopedEnv {
   bool had_ = false;
 };
 
-TEST(DistProtocolEnv, UnsetAndEmptyDefaultToMaster) {
+TEST(DistProtocolEnv, UnsetAndEmptyDefaultToSymmetric) {
   ScopedEnv env("FOCUS_DIST_PROTOCOL");
   env.unset();
-  EXPECT_EQ(dist_protocol_from_env(), DistProtocol::kMaster);
-  EXPECT_EQ(DistConfig{}.protocol, DistProtocol::kMaster);
+  EXPECT_EQ(dist_protocol_from_env(), DistProtocol::kSymmetric);
+  EXPECT_EQ(DistConfig{}.protocol, DistProtocol::kSymmetric);
   env.set("");
-  EXPECT_EQ(dist_protocol_from_env(), DistProtocol::kMaster);
+  EXPECT_EQ(dist_protocol_from_env(), DistProtocol::kSymmetric);
 }
 
 TEST(DistProtocolEnv, NamedProtocolsParse) {
   ScopedEnv env("FOCUS_DIST_PROTOCOL");
   env.set("master");
   EXPECT_EQ(dist_protocol_from_env(), DistProtocol::kMaster);
+  EXPECT_EQ(DistConfig{}.protocol, DistProtocol::kMaster);
   env.set("symmetric");
   EXPECT_EQ(dist_protocol_from_env(), DistProtocol::kSymmetric);
   EXPECT_EQ(DistConfig{}.protocol, DistProtocol::kSymmetric);

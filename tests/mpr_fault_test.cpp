@@ -3,15 +3,22 @@
 // recovery by the fault-tolerant distributed drivers.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "dist/gfa.hpp"
 #include "dist/parallel.hpp"
+#include "dist/variants.hpp"
+#include "graph/coarsen.hpp"
 #include "io/preprocess.hpp"
 #include "mpr/fault.hpp"
 #include "mpr/runtime.hpp"
+#include "partition/mlpart.hpp"
 #include "sim/datasets.hpp"
 
 namespace focus {
@@ -539,9 +546,10 @@ const io::ReadSet& overlap_fault_reads() {
 
 std::vector<align::Overlap> run_overlap_driver(
     int nranks, const mpr::FaultPlan& plan = {},
-    const mpr::FaultConfig& fault = {}) {
+    const mpr::FaultConfig& fault = {},
+    const dist::DistConfig& dcfg = {dist::DistProtocol::kMaster}) {
   return dist::overlap_parallel(overlap_fault_reads(), align::OverlapperConfig{},
-                                nranks, {}, plan, fault)
+                                nranks, {}, plan, fault, dcfg)
       .overlaps;
 }
 
@@ -586,6 +594,25 @@ TEST(OverlapFault, CrashAtEveryWorkerOpRecoversExactOverlaps) {
   }
 }
 
+// Symmetric protocol: any rank may die — including rank 0, which the
+// master/worker protocol cannot lose — and a successor replays the phase
+// from the replicated WAL.
+TEST(OverlapFault, SymmetricCrashAtEveryOpOnEveryRankRecovers) {
+  const int nranks = 3;
+  const dist::DistConfig sym{dist::DistProtocol::kSymmetric};
+  const auto want = run_overlap_driver(nranks);
+  for (Rank victim = 0; victim < nranks; ++victim) {
+    for (std::uint64_t op = 1; op <= 6; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({victim, op});
+      const auto got = run_overlap_driver(nranks, plan, {}, sym);
+      expect_same_overlaps(got, want,
+                           "symmetric rank " + std::to_string(victim) +
+                               " crashed at op " + std::to_string(op));
+    }
+  }
+}
+
 TEST(OverlapFault, SingleRankMasterToleratesPlanWithoutWorkers) {
   mpr::FaultPlan plan;
   plan.crashes.push_back({1, 1});
@@ -600,16 +627,522 @@ TEST(OverlapFault, StressRandomMessageFaultsAlwaysRecover) {
   const auto want = run_overlap_driver(nranks);
   mpr::FaultConfig fault;
   fault.max_retries = 32;
-  for (std::uint64_t trial = 0; trial < 10; ++trial) {
-    mpr::FaultPlan plan;
-    plan.seed = trial * 13 + 3;
-    plan.p_drop = 0.05;
-    plan.p_duplicate = 0.05;
-    plan.p_corrupt = 0.05;
-    plan.p_delay = 0.05;
-    expect_same_overlaps(run_overlap_driver(nranks, plan, fault), want,
-                         "trial " + std::to_string(trial));
+  for (const auto protocol :
+       {dist::DistProtocol::kMaster, dist::DistProtocol::kSymmetric}) {
+    const dist::DistConfig dcfg{protocol};
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+      mpr::FaultPlan plan;
+      plan.seed = trial * 13 + 3;
+      plan.p_drop = 0.05;
+      plan.p_duplicate = 0.05;
+      plan.p_corrupt = 0.05;
+      plan.p_delay = 0.05;
+      expect_same_overlaps(
+          run_overlap_driver(nranks, plan, fault, dcfg), want,
+          "trial " + std::to_string(trial) +
+              (protocol == dist::DistProtocol::kSymmetric ? " symmetric"
+                                                          : " master"));
+    }
   }
+}
+
+// --- Fault-tolerant preprocess driver (stage 1) -----------------------------
+
+const io::ReadSet& preprocess_fault_raw_reads() {
+  static const io::ReadSet reads =
+      sim::make_dataset(1, /*scale=*/0.13, /*coverage=*/3.0).data.reads;
+  return reads;
+}
+
+void expect_same_reads(const io::ReadSet& got, const io::ReadSet& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].name == want[i].name && got[i].seq == want[i].seq &&
+                got[i].qual == want[i].qual &&
+                got[i].origin == want[i].origin &&
+                got[i].reverse == want[i].reverse)
+        << context << " read " << i;
+  }
+}
+
+io::ParallelPreprocessResult run_preprocess_driver(
+    int nranks, const mpr::FaultPlan& plan = {},
+    const mpr::FaultConfig& fault = {}, bool symmetric = false) {
+  return io::preprocess_parallel(preprocess_fault_raw_reads(), {}, nranks, {},
+                                 plan, fault, symmetric);
+}
+
+TEST(PreprocessFault, EmptyPlanMatchesSerialReference) {
+  io::PreprocessStats want_stats;
+  const auto want =
+      io::preprocess(preprocess_fault_raw_reads(), {}, &want_stats);
+  for (const int nranks : {1, 3}) {
+    const auto got = run_preprocess_driver(nranks);
+    expect_same_reads(got.reads, want,
+                      "fault-free ranks " + std::to_string(nranks));
+    EXPECT_EQ(got.stats.input_reads, want_stats.input_reads);
+    EXPECT_EQ(got.stats.dropped_short, want_stats.dropped_short);
+    EXPECT_EQ(got.stats.output_reads, want_stats.output_reads);
+    EXPECT_EQ(got.stats.bases_trimmed, want_stats.bases_trimmed);
+  }
+}
+
+// Crash a single worker at every op position it can reach during stage 1;
+// the recovered read set and stats must be exactly the fault-free ones.
+TEST(PreprocessFault, CrashAtEveryWorkerOpRecoversExactReads) {
+  const int nranks = 3;
+  const auto want = run_preprocess_driver(nranks);
+  for (Rank worker = 1; worker < nranks; ++worker) {
+    for (std::uint64_t op = 1; op <= 6; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({worker, op});
+      const auto got = run_preprocess_driver(nranks, plan);
+      const std::string context = "worker " + std::to_string(worker) +
+                                  " crashed at op " + std::to_string(op);
+      expect_same_reads(got.reads, want.reads, context);
+      EXPECT_EQ(got.stats.output_reads, want.stats.output_reads) << context;
+    }
+  }
+}
+
+// Symmetric protocol: crash EVERY rank — the initial coordinator included —
+// at every op position; a successor must finish from the WAL.
+TEST(PreprocessFault, SymmetricCrashAtEveryOpOnEveryRankRecovers) {
+  const int nranks = 3;
+  const auto want = run_preprocess_driver(nranks);
+  for (Rank victim = 0; victim < nranks; ++victim) {
+    for (std::uint64_t op = 1; op <= 6; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({victim, op});
+      const auto got =
+          run_preprocess_driver(nranks, plan, {}, /*symmetric=*/true);
+      expect_same_reads(got.reads, want.reads,
+                        "rank " + std::to_string(victim) + " crashed at op " +
+                            std::to_string(op));
+    }
+  }
+}
+
+TEST(PreprocessFault, StressRandomMessageFaultsAlwaysRecover) {
+  const int nranks = 3;
+  const auto want = run_preprocess_driver(nranks);
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  for (const bool symmetric : {false, true}) {
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+      mpr::FaultPlan plan;
+      plan.seed = trial * 17 + 5;
+      plan.p_drop = 0.05;
+      plan.p_duplicate = 0.05;
+      plan.p_corrupt = 0.05;
+      plan.p_delay = 0.05;
+      const auto got = run_preprocess_driver(nranks, plan, fault, symmetric);
+      expect_same_reads(got.reads, want.reads,
+                        std::string(symmetric ? "symmetric" : "master") +
+                            " trial " + std::to_string(trial));
+    }
+  }
+}
+
+// --- Fault-tolerant partition driver (stage 5) ------------------------------
+
+const graph::GraphHierarchy& partition_fault_hierarchy() {
+  static const graph::GraphHierarchy h = [] {
+    Rng rng(77);
+    graph::GraphBuilder b(120);
+    for (NodeId v = 1; v < 120; ++v) {
+      b.add_edge(v, static_cast<NodeId>(rng.next_below(v)),
+                 1 + static_cast<Weight>(rng.next_below(50)));
+    }
+    for (int i = 0; i < 240; ++i) {
+      const auto u = static_cast<NodeId>(rng.next_below(120));
+      const auto v = static_cast<NodeId>(rng.next_below(120));
+      if (u != v) b.add_edge(u, v, 1 + static_cast<Weight>(rng.next_below(50)));
+    }
+    graph::CoarsenConfig cfg;
+    cfg.min_nodes = 8;
+    cfg.max_levels = 5;
+    return graph::build_multilevel(b.build(), cfg);
+  }();
+  return h;
+}
+
+partition::ParallelPartitionResult run_partition_driver(
+    int nranks, const mpr::FaultPlan& plan = {},
+    const mpr::FaultConfig& fault = {}, bool symmetric = false) {
+  return partition::partition_hierarchy_parallel(
+      partition_fault_hierarchy(), 4, partition::PartitionerConfig{}, nranks,
+      {}, plan, fault, symmetric);
+}
+
+void expect_same_partitioning(const partition::HierarchyPartitioning& got,
+                              const partition::HierarchyPartitioning& want,
+                              const std::string& context) {
+  EXPECT_EQ(got.parts, want.parts) << context;
+  EXPECT_EQ(got.finest_cut, want.finest_cut) << context;
+  ASSERT_EQ(got.levels, want.levels) << context;
+}
+
+TEST(PartitionFault, EmptyPlanMatchesFaultFreeDriver) {
+  const auto want = run_partition_driver(3);
+  // The FT dispatch must not change the fault-free path at any rank count,
+  // and the fault-free path itself equals the serial partitioner.
+  const auto serial = partition::partition_hierarchy(
+      partition_fault_hierarchy(), 4, partition::PartitionerConfig{});
+  EXPECT_EQ(want.partitioning.levels, serial.levels);
+  EXPECT_EQ(want.partitioning.finest_cut, serial.finest_cut);
+}
+
+// Crash a single worker at every op position it can reach during the
+// bisection and refinement phases; the recovered partitioning must be exactly
+// the fault-free (== serial) one.
+TEST(PartitionFault, CrashAtEveryWorkerOpRecoversExactPartitioning) {
+  const int nranks = 3;
+  const auto want = run_partition_driver(nranks);
+  for (Rank worker = 1; worker < nranks; ++worker) {
+    for (std::uint64_t op = 1; op <= 8; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({worker, op});
+      const auto got = run_partition_driver(nranks, plan);
+      expect_same_partitioning(got.partitioning, want.partitioning,
+                               "worker " + std::to_string(worker) +
+                                   " crashed at op " + std::to_string(op));
+    }
+  }
+}
+
+// Symmetric protocol: crash EVERY rank at every op position. A successor
+// coordinator must replay the committed bisection steps from the WAL to
+// rebuild the evolving labels, then finish the remaining phases.
+TEST(PartitionFault, SymmetricCrashAtEveryOpOnEveryRankRecovers) {
+  const int nranks = 3;
+  const auto want = run_partition_driver(nranks);
+  for (Rank victim = 0; victim < nranks; ++victim) {
+    for (std::uint64_t op = 1; op <= 8; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({victim, op});
+      const auto got =
+          run_partition_driver(nranks, plan, {}, /*symmetric=*/true);
+      expect_same_partitioning(got.partitioning, want.partitioning,
+                               "rank " + std::to_string(victim) +
+                                   " crashed at op " + std::to_string(op));
+    }
+  }
+}
+
+TEST(PartitionFault, StressRandomMessageFaultsAlwaysRecover) {
+  const int nranks = 3;
+  const auto want = run_partition_driver(nranks);
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  for (const bool symmetric : {false, true}) {
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+      mpr::FaultPlan plan;
+      plan.seed = trial * 19 + 7;
+      plan.p_drop = 0.05;
+      plan.p_duplicate = 0.05;
+      plan.p_corrupt = 0.05;
+      plan.p_delay = 0.05;
+      const auto got = run_partition_driver(nranks, plan, fault, symmetric);
+      expect_same_partitioning(
+          got.partitioning, want.partitioning,
+          std::string(symmetric ? "symmetric" : "master") + " trial " +
+              std::to_string(trial));
+    }
+  }
+}
+
+// --- Fault-tolerant variant scan + GFA emission -----------------------------
+
+/// Three SNP bubbles along a backbone chain — several variant sites spread
+/// over the striped partitions.
+AsmGraph make_variant_fault_graph() {
+  Rng rng(55);
+  AsmGraph g;
+  NodeId prev = g.add_node(random_seq(rng, 200), 10);
+  for (int bubble = 0; bubble < 3; ++bubble) {
+    std::string allele_a = random_seq(rng, 250);
+    std::string allele_b = allele_a;
+    for (int s = 0; s < 3; ++s) {
+      const std::size_t pos = 20 + static_cast<std::size_t>(s) * 40;
+      allele_b[pos] = allele_b[pos] == 'A' ? 'C' : 'A';
+    }
+    const NodeId a = g.add_node(allele_a, 8);
+    const NodeId b = g.add_node(allele_b, 3);
+    const NodeId post = g.add_node(random_seq(rng, 200), 10);
+    g.add_edge(prev, a, 50);
+    g.add_edge(prev, b, 50);
+    g.add_edge(a, post, 50);
+    g.add_edge(b, post, 50);
+    prev = post;
+  }
+  return g;
+}
+
+std::vector<dist::Variant> run_variants_driver(
+    int nranks, const mpr::FaultPlan& plan = {},
+    const mpr::FaultConfig& fault = {},
+    const dist::DistConfig& dcfg = {dist::DistProtocol::kMaster}) {
+  static const AsmGraph g = make_variant_fault_graph();
+  static const auto part = striped_partition(g, kParts);
+  return dist::find_variants_parallel(g, part, kParts, {}, nranks, {}, plan,
+                                      fault, dcfg)
+      .variants;
+}
+
+void expect_same_variants(const std::vector<dist::Variant>& got,
+                          const std::vector<dist::Variant>& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].branch_point == want[i].branch_point &&
+                got[i].merge_point == want[i].merge_point &&
+                got[i].major_allele == want[i].major_allele &&
+                got[i].minor_allele == want[i].minor_allele &&
+                got[i].identity == want[i].identity)
+        << context << " record " << i;
+  }
+}
+
+TEST(VariantsFault, EmptyPlanMatchesSerialReference) {
+  const auto want = dist::find_variants_serial(make_variant_fault_graph(), {});
+  EXPECT_EQ(want.size(), 3u) << "fixture must contain three bubbles";
+  for (const int nranks : {1, 3}) {
+    expect_same_variants(run_variants_driver(nranks), want,
+                         "fault-free ranks " + std::to_string(nranks));
+  }
+}
+
+TEST(VariantsFault, CrashAtEveryWorkerOpRecoversExactVariants) {
+  const int nranks = 3;
+  const auto want = run_variants_driver(nranks);
+  for (Rank worker = 1; worker < nranks; ++worker) {
+    for (std::uint64_t op = 1; op <= 5; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({worker, op});
+      expect_same_variants(run_variants_driver(nranks, plan), want,
+                           "worker " + std::to_string(worker) +
+                               " crashed at op " + std::to_string(op));
+    }
+  }
+}
+
+TEST(VariantsFault, SymmetricCrashAtEveryOpOnEveryRankRecovers) {
+  const int nranks = 3;
+  const auto want = run_variants_driver(nranks);
+  for (Rank victim = 0; victim < nranks; ++victim) {
+    for (std::uint64_t op = 1; op <= 5; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({victim, op});
+      expect_same_variants(run_variants_driver(nranks, plan, {}, kSymCfg),
+                           want,
+                           "rank " + std::to_string(victim) +
+                               " crashed at op " + std::to_string(op));
+    }
+  }
+}
+
+TEST(VariantsFault, StressRandomMessageFaultsAlwaysRecover) {
+  const int nranks = 3;
+  const auto want = run_variants_driver(nranks);
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  for (const auto& dcfg :
+       {dist::DistConfig{dist::DistProtocol::kMaster}, kSymCfg}) {
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+      mpr::FaultPlan plan;
+      plan.seed = trial * 23 + 9;
+      plan.p_drop = 0.05;
+      plan.p_duplicate = 0.05;
+      plan.p_corrupt = 0.05;
+      plan.p_delay = 0.05;
+      expect_same_variants(run_variants_driver(nranks, plan, fault, dcfg),
+                           want, "trial " + std::to_string(trial));
+    }
+  }
+}
+
+// --- Fault-tolerant GFA emission --------------------------------------------
+
+/// A 600-node chain: three segment-id blocks and three link-id blocks, so
+/// reassignment after a crash moves real rendering work.
+AsmGraph make_gfa_fault_graph() {
+  Rng rng(66);
+  AsmGraph g;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 600; ++i) {
+    chain.push_back(g.add_node(random_seq(rng, 120), 2));
+  }
+  for (int i = 0; i + 1 < 600; ++i) g.add_edge(chain[i], chain[i + 1], 40);
+  return g;
+}
+
+std::string run_gfa_driver(int nranks, const mpr::FaultPlan& plan = {},
+                           const mpr::FaultConfig& fault = {},
+                           const dist::DistConfig& dcfg = {
+                               dist::DistProtocol::kMaster}) {
+  static const AsmGraph g = make_gfa_fault_graph();
+  return dist::write_gfa_parallel(g, {}, nranks, {}, plan, fault, dcfg).gfa;
+}
+
+TEST(GfaFault, EmptyPlanMatchesSerialBytes) {
+  std::ostringstream want;
+  dist::write_gfa(want, make_gfa_fault_graph(), {});
+  for (const int nranks : {1, 3}) {
+    EXPECT_EQ(run_gfa_driver(nranks), want.str())
+        << "fault-free ranks " << nranks;
+  }
+}
+
+TEST(GfaFault, CrashAtEveryWorkerOpRecoversExactBytes) {
+  const int nranks = 3;
+  const auto want = run_gfa_driver(nranks);
+  for (Rank worker = 1; worker < nranks; ++worker) {
+    for (std::uint64_t op = 1; op <= 6; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({worker, op});
+      EXPECT_EQ(run_gfa_driver(nranks, plan), want)
+          << "worker " << worker << " crashed at op " << op;
+    }
+  }
+}
+
+TEST(GfaFault, SymmetricCrashAtEveryOpOnEveryRankRecovers) {
+  const int nranks = 3;
+  const auto want = run_gfa_driver(nranks);
+  for (Rank victim = 0; victim < nranks; ++victim) {
+    for (std::uint64_t op = 1; op <= 6; ++op) {
+      mpr::FaultPlan plan;
+      plan.crashes.push_back({victim, op});
+      EXPECT_EQ(run_gfa_driver(nranks, plan, {}, kSymCfg), want)
+          << "rank " << victim << " crashed at op " << op;
+    }
+  }
+}
+
+TEST(GfaFault, StressRandomMessageFaultsAlwaysRecover) {
+  const int nranks = 3;
+  const auto want = run_gfa_driver(nranks);
+  mpr::FaultConfig fault;
+  fault.max_retries = 32;
+  for (const auto& dcfg :
+       {dist::DistConfig{dist::DistProtocol::kMaster}, kSymCfg}) {
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+      mpr::FaultPlan plan;
+      plan.seed = trial * 29 + 11;
+      plan.p_drop = 0.05;
+      plan.p_duplicate = 0.05;
+      plan.p_corrupt = 0.05;
+      plan.p_delay = 0.05;
+      EXPECT_EQ(run_gfa_driver(nranks, plan, fault, dcfg), want)
+          << "trial " << trial;
+    }
+  }
+}
+
+// --- FOCUS_FAULT_* environment parsing --------------------------------------
+
+// RAII save/restore so the suite never leaks an environment change.
+class ScopedEnvVar {
+ public:
+  explicit ScopedEnvVar(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+  }
+  ~ScopedEnvVar() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  void set(const char* value) { ::setenv(name_, value, 1); }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+void expect_env_error(const std::function<void()>& parse,
+                      const std::string& needle) {
+  try {
+    parse();
+    FAIL() << "expected a focus::Error mentioning '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultEnv, MalformedSeedNamesTheOffendingValue) {
+  ScopedEnvVar seed("FOCUS_FAULT_SEED");
+  seed.set("banana");
+  expect_env_error([] { (void)mpr::FaultPlan::from_env(); }, "banana");
+  seed.set("12x");
+  expect_env_error([] { (void)mpr::FaultPlan::from_env(); }, "12x");
+}
+
+TEST(FaultEnv, RateOutsideUnitIntervalRejected) {
+  ScopedEnvVar seed("FOCUS_FAULT_SEED");
+  ScopedEnvVar drop("FOCUS_FAULT_DROP");
+  seed.set("7");
+  drop.set("1.5");
+  expect_env_error([] { (void)mpr::FaultPlan::from_env(); }, "1.5");
+  drop.set("-0.1");
+  expect_env_error([] { (void)mpr::FaultPlan::from_env(); }, "-0.1");
+  drop.set("half");
+  expect_env_error([] { (void)mpr::FaultPlan::from_env(); }, "half");
+  drop.set("0.25");
+  EXPECT_DOUBLE_EQ(mpr::FaultPlan::from_env().p_drop, 0.25);
+}
+
+TEST(FaultEnv, RateWithoutSeedRejectedAsInert) {
+  ScopedEnvVar seed("FOCUS_FAULT_SEED");
+  ScopedEnvVar drop("FOCUS_FAULT_DROP");
+  ::unsetenv("FOCUS_FAULT_SEED");
+  drop.set("0.25");
+  expect_env_error([] { (void)mpr::FaultPlan::from_env(); },
+                   "FOCUS_FAULT_SEED");
+  seed.set("7");
+  EXPECT_DOUBLE_EQ(mpr::FaultPlan::from_env().p_drop, 0.25);
+}
+
+TEST(FaultEnv, MaxRetriesValidated) {
+  ScopedEnvVar retries("FOCUS_FAULT_MAX_RETRIES");
+  retries.set("0");
+  expect_env_error([] { (void)mpr::FaultConfig::from_env(); }, "0");
+  retries.set("1001");
+  expect_env_error([] { (void)mpr::FaultConfig::from_env(); }, "1001");
+  retries.set("many");
+  expect_env_error([] { (void)mpr::FaultConfig::from_env(); }, "many");
+  retries.set("16");
+  EXPECT_EQ(mpr::FaultConfig::from_env().max_retries, 16);
+}
+
+TEST(FaultEnv, RecvTimeoutValidated) {
+  ScopedEnvVar timeout("FOCUS_FAULT_RECV_TIMEOUT");
+  timeout.set("-1");
+  expect_env_error([] { (void)mpr::FaultConfig::from_env(); }, "-1");
+  timeout.set("0");
+  expect_env_error([] { (void)mpr::FaultConfig::from_env(); }, "0");
+  timeout.set("soon");
+  expect_env_error([] { (void)mpr::FaultConfig::from_env(); }, "soon");
+  timeout.set("0.5");
+  EXPECT_DOUBLE_EQ(mpr::FaultConfig::from_env().recv_timeout_vtime, 0.5);
+}
+
+TEST(FaultEnv, DefaultsWhenUnset) {
+  ScopedEnvVar retries("FOCUS_FAULT_MAX_RETRIES");
+  ScopedEnvVar timeout("FOCUS_FAULT_RECV_TIMEOUT");
+  ::unsetenv("FOCUS_FAULT_MAX_RETRIES");
+  ::unsetenv("FOCUS_FAULT_RECV_TIMEOUT");
+  const auto config = mpr::FaultConfig::from_env();
+  const mpr::FaultConfig defaults;
+  EXPECT_EQ(config.max_retries, defaults.max_retries);
+  EXPECT_DOUBLE_EQ(config.recv_timeout_vtime, defaults.recv_timeout_vtime);
 }
 
 }  // namespace

@@ -14,11 +14,16 @@
 # CSR-spill StoredAsmGraph byte-identity across threads × ranks × protocols
 # under forced-spill budgets, the SpillManager's concurrent LRU fetch/evict
 # paths, plus graph_store_fault_test's crash-at-every-op spill-write sweep
-# and bench_graph_store's forked RSS smoke under label `perf-smoke`), and
-# the fault-injection suite (label `fault`: crash-at-every-op recovery
-# sweeps — including symmetric-coordinator rotation — and mixed-fault
-# stress of the runtime's timeout/CRC detection paths) are exercised under
-# both memory/UB and data-race checking.
+# and bench_graph_store's forked RSS smoke under label `perf-smoke`), the
+# fault-injection suite (label `fault`: crash-at-every-op recovery sweeps
+# over every FT driver — preprocess, distributed-index overlap, partition,
+# simplify, traverse, variants, GFA, including symmetric-coordinator
+# rotation — plus mixed-fault stress of the runtime's timeout/CRC detection
+# paths and the FaultEnv malformed-knob tests), and the whole-pipeline
+# chaos soak (label `soak`: 50-seed storms and crash sweeps through the
+# full assembler across protocols and graph-store backends, with the spill
+# manager's nth-write disk fault armed) are exercised under both memory/UB
+# and data-race checking.
 #
 #   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]
 #

@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "align/overlapper.hpp"
+#include "common/env.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/asm_build.hpp"
@@ -27,15 +27,16 @@
 
 namespace focus::bench {
 
-inline double env_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  return std::atof(value);
+inline double bench_scale(double fallback = 1.0) {
+  const auto env = EnvSnapshot::capture();
+  if (!env.bench_scale.has_value()) return fallback;
+  return env::parse_double("FOCUS_BENCH_SCALE", *env.bench_scale);
 }
 
-inline double bench_scale() { return env_double("FOCUS_BENCH_SCALE", 1.0); }
-inline double bench_coverage() {
-  return env_double("FOCUS_BENCH_COVERAGE", 15.0);
+inline double bench_coverage(double fallback = 15.0) {
+  const auto env = EnvSnapshot::capture();
+  if (!env.bench_coverage.has_value()) return fallback;
+  return env::parse_double("FOCUS_BENCH_COVERAGE", *env.bench_coverage);
 }
 
 /// The pipeline configuration every experiment driver shares (mirrors the

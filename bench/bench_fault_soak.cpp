@@ -34,10 +34,8 @@ using namespace focus;
 
 constexpr PartId kGraphParts = 4;
 
-double soak_scale() { return bench::env_double("FOCUS_BENCH_SCALE", 0.3); }
-double soak_coverage() {
-  return bench::env_double("FOCUS_BENCH_COVERAGE", 6.0);
-}
+double soak_scale() { return bench::bench_scale(0.3); }
+double soak_coverage() { return bench::bench_coverage(6.0); }
 
 core::FocusConfig soak_config(int ranks, dist::DistProtocol protocol,
                               graph::GraphStoreBackend backend) {

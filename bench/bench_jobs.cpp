@@ -1,0 +1,207 @@
+// Multi-tenant job-runtime bench (DESIGN.md §10) — throughput, latency and
+// artifact-cache effectiveness of the JobScheduler.
+//
+//   $ ./bench_jobs [--smoke] [output.json]
+//
+// Three measurements:
+//   1. Cache-hit speedup: one cold assembly (every stage runs) vs the warm
+//      repeat against the same ArtifactCache (stages 1-3 served from
+//      artifacts). The warm result must be byte-identical to the cold one —
+//      contigs, paths, partition cut and stats — or the bench fails.
+//   2. Scheduler throughput: a stream of jobs from three tenants, round-robin
+//      over the datasets, through `max_in_flight` lanes with the shared
+//      cache. Reports jobs/sec and the p50/p99 end-to-end latency
+//      (admission -> completion) from the per-job JobStats.
+//   3. Determinism gate: every scheduler result is checked byte-identical to
+//      the serial oracle of its dataset; repeat submissions must report
+//      all-stage cache hits.
+//
+// Exit status is nonzero if any gate fails, so the smoke invocation doubles
+// as a ctest (label: perf-smoke). Default output: BENCH_jobs.json.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "svc/scheduler.hpp"
+
+namespace {
+
+using namespace focus;
+
+core::FocusConfig jobs_config() {
+  core::FocusConfig cfg{EnvSnapshot{}};  // env-independent; snapshot pinned
+  cfg.overlap.k = 14;
+  cfg.overlap.min_kmer_hits = 3;
+  cfg.overlap.min_overlap = 40;
+  cfg.overlap.subsets = 2;
+  cfg.coarsen.min_nodes = 32;
+  cfg.partitions = 4;
+  cfg.ranks = 2;
+  cfg.min_contig_length = 150;
+  return cfg;
+}
+
+bool same_assembly(const core::AssemblyResult& a,
+                   const core::AssemblyResult& b) {
+  return a.contigs == b.contigs && a.paths == b.paths &&
+         a.partitioning.finest_cut == b.partitioning.finest_cut &&
+         a.stats.n50 == b.stats.n50 &&
+         a.stats.total_bases == b.stats.total_bases &&
+         a.overlaps.size() == b.overlaps.size();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_jobs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const double scale = bench::bench_scale(smoke ? 0.15 : 0.4);
+  const double coverage = bench::bench_coverage(smoke ? 5.0 : 8.0);
+  const std::vector<int> dataset_ids =
+      smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 3};
+  const std::size_t total_jobs = smoke ? 8 : 24;
+  const unsigned in_flight = 2;
+
+  std::vector<io::ReadSet> raw_reads;
+  std::vector<core::AssemblyResult> oracles;
+  for (const int id : dataset_ids) {
+    std::fprintf(stderr, "[jobs] preparing D%d (scale=%.2f cov=%.1f)\n", id,
+                 scale, coverage);
+    raw_reads.push_back(sim::make_dataset(id, scale, coverage).data.reads);
+    oracles.push_back(core::assemble_reads(raw_reads.back(), jobs_config()));
+  }
+
+  bool ok = true;
+
+  // --- 1. Cold vs warm: artifact-cache speedup. ---------------------------
+  svc::ArtifactCache cache(0);
+  const core::FocusAssembler assembler(jobs_config());
+  Timer timer;
+  const core::AssemblyResult cold = assembler.assemble(raw_reads[0], &cache);
+  const double cold_wall = timer.seconds();
+  timer.restart();
+  const core::AssemblyResult warm = assembler.assemble(raw_reads[0], &cache);
+  const double warm_wall = timer.seconds();
+  const double speedup = warm_wall > 0.0 ? cold_wall / warm_wall : 0.0;
+  const bool warm_hit = warm.cache_hits.preprocess &&
+                        warm.cache_hits.overlaps && warm.cache_hits.coarsen;
+  if (!warm_hit || !same_assembly(cold, warm) ||
+      !same_assembly(cold, oracles[0])) {
+    std::fprintf(stderr, "[jobs] FAIL: warm repeat not identical or missed\n");
+    ok = false;
+  }
+  std::fprintf(stderr, "[jobs] cold %.3fs -> warm %.3fs (%.2fx)\n", cold_wall,
+               warm_wall, speedup);
+
+  // --- 2+3. Scheduler throughput with the determinism gate. ---------------
+  svc::SchedulerConfig sc;
+  sc.max_in_flight = in_flight;
+  svc::JobScheduler sched(sc);
+  const char* tenants[] = {"alice", "bob", "carol"};
+
+  // First wave: one job per dataset, completed before the stream starts, so
+  // every later job finds warm artifacts (concurrent lanes racing to fill a
+  // cold cache would legitimately miss).
+  timer.restart();
+  std::vector<double> latencies;
+  std::size_t repeat_hits = 0, repeats = 0;
+  std::vector<std::future<svc::JobResult>> warmup;
+  for (std::size_t d = 0; d < raw_reads.size(); ++d) {
+    warmup.push_back(
+        sched.submit(tenants[d % 3], raw_reads[d], jobs_config()));
+  }
+  for (std::size_t d = 0; d < warmup.size(); ++d) {
+    svc::JobResult r = warmup[d].get();
+    latencies.push_back(r.stats.queue_wall + r.stats.exec_wall);
+    if (!same_assembly(r.assembly, oracles[d])) {
+      std::fprintf(stderr, "[jobs] FAIL: warmup job D%zu diverged\n", d + 1);
+      ok = false;
+    }
+  }
+
+  std::vector<std::future<svc::JobResult>> futures;
+  std::vector<std::size_t> job_dataset;
+  for (std::size_t j = raw_reads.size(); j < total_jobs; ++j) {
+    const std::size_t d = j % raw_reads.size();
+    job_dataset.push_back(d);
+    futures.push_back(
+        sched.submit(tenants[j % 3], raw_reads[d], jobs_config()));
+  }
+  for (std::size_t j = 0; j < futures.size(); ++j) {
+    svc::JobResult r = futures[j].get();
+    latencies.push_back(r.stats.queue_wall + r.stats.exec_wall);
+    if (!same_assembly(r.assembly, oracles[job_dataset[j]])) {
+      std::fprintf(stderr, "[jobs] FAIL: job %zu diverged from its oracle\n",
+                   j);
+      ok = false;
+    }
+    ++repeats;
+    if (r.stats.cache_hits.preprocess && r.stats.cache_hits.overlaps &&
+        r.stats.cache_hits.coarsen) {
+      ++repeat_hits;
+    }
+  }
+  const double span = timer.seconds();
+  const double jobs_per_sec =
+      span > 0.0 ? static_cast<double>(total_jobs) / span : 0.0;
+  const svc::CacheStats cs = sched.cache_stats();
+  sched.shutdown();
+
+  if (repeat_hits != repeats) {
+    std::fprintf(stderr, "[jobs] FAIL: %zu/%zu repeat jobs missed the cache\n",
+                 repeats - repeat_hits, repeats);
+    ok = false;
+  }
+
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  std::fprintf(stderr,
+               "[jobs] %zu jobs in %.2fs: %.2f jobs/s, p50 %.3fs p99 %.3fs\n",
+               total_jobs, span, jobs_per_sec, p50, p99);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"jobs\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"scale\": %.3f,\n  \"coverage\": %.1f,\n", scale,
+               coverage);
+  std::fprintf(f, "  \"datasets\": %zu,\n  \"jobs\": %zu,\n",
+               dataset_ids.size(), total_jobs);
+  std::fprintf(f, "  \"max_in_flight\": %u,\n", in_flight);
+  std::fprintf(f, "  \"jobs_per_sec\": %.4f,\n", jobs_per_sec);
+  std::fprintf(f, "  \"latency_p50_s\": %.6f,\n  \"latency_p99_s\": %.6f,\n",
+               p50, p99);
+  std::fprintf(f,
+               "  \"cache\": {\"cold_wall_s\": %.6f, \"warm_wall_s\": %.6f, "
+               "\"speedup\": %.3f, \"hits\": %llu, \"misses\": %llu, "
+               "\"evictions\": %llu, \"resident_bytes\": %zu},\n",
+               cold_wall, warm_wall, speedup,
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.evictions),
+               cs.resident_bytes);
+  std::fprintf(f, "  \"determinism_ok\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(f);
+  std::fprintf(stderr, "[jobs] wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
@@ -10,6 +9,7 @@
 
 #include "align/banded_nw.hpp"
 #include "common/dna.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "io/preprocess.hpp"
@@ -24,9 +24,14 @@ constexpr char kSeparator = '\x01';
 }  // namespace
 
 SeedStrategy seed_strategy_from_env() {
-  const char* env = std::getenv("FOCUS_SEED_STRATEGY");
-  if (env == nullptr || *env == '\0') return SeedStrategy::kAllPairs;
-  const std::string_view v(env);
+  return seed_strategy_from_env(EnvSnapshot::capture());
+}
+
+SeedStrategy seed_strategy_from_env(const EnvSnapshot& env) {
+  if (!env.seed_strategy.has_value() || env.seed_strategy->empty()) {
+    return SeedStrategy::kAllPairs;
+  }
+  const std::string_view v(*env.seed_strategy);
   if (v == "all-pairs" || v == "allpairs") return SeedStrategy::kAllPairs;
   if (v == "distributed" || v == "distributed-index") {
     return SeedStrategy::kDistributedIndex;

@@ -45,6 +45,10 @@
 #include "io/read.hpp"
 #include "mpr/runtime.hpp"
 
+namespace focus {
+struct EnvSnapshot;
+}
+
 namespace focus::align {
 
 /// Which index structure backs k-mer seeding.
@@ -63,6 +67,10 @@ enum class SeedStrategy {
 /// "distributed"/"distributed-index"; unset/empty keeps the default
 /// (all-pairs). Any other value throws — a typo must not silently fall back.
 SeedStrategy seed_strategy_from_env();
+
+/// Same, resolved against an already-captured environment snapshot
+/// (FocusConfig takes one snapshot and derives every env default from it).
+SeedStrategy seed_strategy_from_env(const EnvSnapshot& env);
 
 struct OverlapperConfig {
   /// Seed k-mer length.

@@ -1,29 +1,38 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 
 namespace focus {
 
 namespace {
 
-/// Deque slot of the current thread: workers set their own slot id; every
-/// external caller shares slot 0. Nested parallel_for/fork_join calls issued
-/// from inside a task then push and pop on the worker's own deque (LIFO),
-/// keeping recursive spawns cache-local until someone steals them.
-thread_local unsigned t_slot = 0;
+/// Pool-affine slot of the current thread: workers record (their pool, their
+/// slot id); every external caller — and any thread entering a *different*
+/// pool than the one it works for — resolves to slot 0 of the entered pool.
+/// Nested parallel_for/fork_join calls issued from inside a task of the same
+/// pool then push and pop on the worker's own deque (LIFO), keeping
+/// recursive spawns cache-local until someone steals them. Keying the slot
+/// by pool identity is what makes several ThreadPools safe in one process
+/// (the multi-tenant job runtime runs one pool per in-flight assembly): a
+/// worker of pool A that enters pool B must not index B's deques with A's
+/// slot id, which can exceed B's width.
+struct SlotContext {
+  const void* pool = nullptr;
+  unsigned slot = 0;
+};
+thread_local SlotContext t_ctx;
 
 }  // namespace
 
 unsigned default_thread_count() {
-  if (const char* env = std::getenv("FOCUS_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) {
-      return static_cast<unsigned>(std::min<long>(parsed, 256));
-    }
-  }
+  return default_thread_count(EnvSnapshot::capture());
+}
+
+unsigned default_thread_count(const EnvSnapshot& env) {
+  if (const auto width = env.thread_count()) return *width;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? hw : 1;
 }
@@ -75,7 +84,7 @@ bool ThreadPool::try_acquire(unsigned self, std::function<void()>& task) {
 }
 
 void ThreadPool::worker_main(unsigned self) {
-  t_slot = self;
+  t_ctx = {this, self};
   std::function<void()> task;
   while (true) {
     if (try_acquire(self, task)) {
@@ -136,10 +145,12 @@ void ThreadPool::parallel_for(
   wake_cv_.notify_all();
 
   // The caller is a full participant: execute and steal until the batch
-  // drains (starting from its own deque when called from inside a task).
+  // drains (starting from its own deque when called from inside a task of
+  // *this* pool; threads foreign to this pool scan from slot 0).
+  const unsigned self = t_ctx.pool == this ? t_ctx.slot : 0;
   std::function<void()> task;
   while (batch.remaining.load(std::memory_order_acquire) > 0) {
-    if (try_acquire(t_slot, task)) {
+    if (try_acquire(self, task)) {
       task();
       task = nullptr;
     } else {
@@ -163,7 +174,7 @@ void ThreadPool::fork_join(const std::function<void()>& left,
     std::exception_ptr eptr;
   } fork;
 
-  const unsigned self = t_slot;
+  const unsigned self = t_ctx.pool == this ? t_ctx.slot : 0;
   {
     std::lock_guard<std::mutex> lk(deques_[self]->mu);
     deques_[self]->tasks.push_back([&fork, &right] {

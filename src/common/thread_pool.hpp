@@ -23,7 +23,15 @@
 //    thread count (enforced by tests/threads_test.cpp).
 //
 // Thread-count resolution: an explicit positive count wins; 0 means "auto" —
-// the FOCUS_THREADS environment variable if set, else hardware concurrency.
+// the FOCUS_THREADS environment variable if set (strictly validated via
+// EnvSnapshot: 0 = auto, 1..256 = width, anything else throws), else
+// hardware concurrency.
+//
+// Multi-pool safety: several pools may coexist in one process (the job
+// runtime runs one assembly — and therefore one transient pool per parallel
+// stage — per in-flight job). The worker-slot thread_local is keyed by pool
+// identity, so a thread entering a pool it does not work for participates as
+// an external caller (slot 0) instead of indexing a foreign deque array.
 #pragma once
 
 #include <atomic>
@@ -38,9 +46,16 @@
 
 namespace focus {
 
+struct EnvSnapshot;
+
 /// Pool width used when a config asks for "auto" (threads == 0):
 /// FOCUS_THREADS if set to a positive integer, else hardware concurrency.
+/// A set-but-malformed FOCUS_THREADS (garbage, trailing junk, negative,
+/// overflow, > 256) throws focus::Error naming the offending value.
 unsigned default_thread_count();
+
+/// Same, resolved against an already-captured environment snapshot.
+unsigned default_thread_count(const EnvSnapshot& env);
 
 /// Resolves a configured thread count: positive values pass through,
 /// 0 resolves via default_thread_count(). Always returns >= 1.

@@ -15,6 +15,23 @@ double AssemblyResult::total_vtime() const {
   return total;
 }
 
+FocusConfig::FocusConfig(const EnvSnapshot& env)
+    // Designated/aggregate initializers bypass the members' own env-reading
+    // defaults, so this constructor performs zero getenv calls: every
+    // env-defaulted knob comes from the one snapshot.
+    : overlap{.strategy = align::seed_strategy_from_env(env)},
+      fault_plan(mpr::FaultPlan::from_env(env)),
+      fault(mpr::FaultConfig::from_env(env)),
+      dist{dist::dist_protocol_from_env(env)},
+      graph_store(graph::GraphStoreConfig::from_env(env)) {
+  // Bake the auto thread width now so no pipeline stage consults the
+  // environment later: a mid-run setenv("FOCUS_THREADS") has no effect on an
+  // already-constructed config.
+  const unsigned width = default_thread_count(env);
+  if (overlap.threads == 0) overlap.threads = width;
+  if (partitioner.threads == 0) partitioner.threads = width;
+}
+
 FocusAssembler::FocusAssembler(FocusConfig config)
     : config_(std::move(config)) {
   FOCUS_CHECK(config_.partitions >= 1 &&
@@ -23,66 +40,127 @@ FocusAssembler::FocusAssembler(FocusConfig config)
   FOCUS_CHECK(config_.ranks >= 1, "need at least one rank");
 }
 
-AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads) const {
+AssemblyResult FocusAssembler::assemble(const io::ReadSet& raw_reads,
+                                        StageCache* cache) const {
   AssemblyResult result;
   Timer wall;
 
+  // Digest-chained cache keys (stage_cache.hpp). Only computed when a cache
+  // is wired in: the digest walks every read once.
+  common::Digest pre_key, ov_key, co_key;
+  if (cache != nullptr) {
+    const common::Digest dataset = dataset_digest(raw_reads);
+    pre_key = preprocess_key(dataset, config_);
+    ov_key = overlap_key(pre_key, config_);
+    co_key = coarsen_key(ov_key, config_);
+  }
+
   // --- Stage 1: preprocessing (§II-A), parallel over read chunks. ---------
   {
-    auto preprocessed = io::preprocess_parallel(
-        raw_reads, config_.preprocess, config_.ranks, config_.cost,
-        config_.fault_plan, config_.fault,
-        config_.dist.protocol == dist::DistProtocol::kSymmetric);
-    result.reads = std::move(preprocessed.reads);
-    result.preprocess_stats = preprocessed.stats;
-    result.preprocess_run = preprocessed.run;
+    std::shared_ptr<const PreprocessArtifact> hit;
+    if (cache != nullptr) hit = cache->get_preprocess(pre_key);
+    if (hit != nullptr) {
+      result.reads = hit->reads;
+      result.preprocess_stats = hit->stats;
+      result.preprocess_run = hit->run;
+      result.cache_hits.preprocess = true;
+    } else {
+      auto preprocessed = io::preprocess_parallel(
+          raw_reads, config_.preprocess, config_.ranks, config_.cost,
+          config_.fault_plan, config_.fault,
+          config_.dist.protocol == dist::DistProtocol::kSymmetric);
+      result.reads = std::move(preprocessed.reads);
+      result.preprocess_stats = preprocessed.stats;
+      result.preprocess_run = preprocessed.run;
+      if (cache != nullptr) {
+        auto artifact = std::make_shared<PreprocessArtifact>();
+        artifact->reads = result.reads;
+        artifact->stats = result.preprocess_stats;
+        artifact->run = result.preprocess_run;
+        cache->put_preprocess(pre_key, std::move(artifact));
+      }
+    }
     FOCUS_CHECK(!result.reads.empty(),
                 "no reads survive preprocessing; relax the trimming thresholds");
     StageTiming t;
     t.wall = wall.seconds();
-    t.vtime = preprocessed.run.makespan;
+    t.vtime = result.preprocess_run.makespan;
     result.timings["1-preprocess"] = t;
   }
 
   // --- Stage 2: parallel read alignment (§II-B). --------------------------
   wall.restart();
-  if (config_.overlap.strategy == align::SeedStrategy::kDistributedIndex) {
-    // The distributed-index driver sits behind the fault envelope: an active
-    // fault plan covers the overlap phase with the same replay recovery as
-    // the graph stages.
-    auto aligned = dist::overlap_parallel(
-        result.reads, config_.overlap, config_.ranks, config_.cost,
-        config_.fault_plan, config_.fault, config_.dist);
-    result.overlaps = std::move(aligned.overlaps);
-    result.align_run = aligned.run;
+  {
+    std::shared_ptr<const OverlapArtifact> hit;
+    if (cache != nullptr) hit = cache->get_overlaps(ov_key);
+    double align_vtime = 0.0;
+    if (hit != nullptr) {
+      result.overlaps = hit->overlaps;
+      result.align_run = hit->run;
+      align_vtime = hit->vtime;
+      result.cache_hits.overlaps = true;
+    } else if (config_.overlap.strategy ==
+               align::SeedStrategy::kDistributedIndex) {
+      // The distributed-index driver sits behind the fault envelope: an
+      // active fault plan covers the overlap phase with the same replay
+      // recovery as the graph stages.
+      auto aligned = dist::overlap_parallel(
+          result.reads, config_.overlap, config_.ranks, config_.cost,
+          config_.fault_plan, config_.fault, config_.dist);
+      result.overlaps = std::move(aligned.overlaps);
+      result.align_run = aligned.run;
+      align_vtime = aligned.run.makespan;
+    } else {
+      auto aligned = align::find_overlaps_parallel(
+          result.reads, config_.overlap, config_.ranks, config_.cost);
+      result.overlaps = std::move(aligned.overlaps);
+      align_vtime = aligned.stats.makespan;
+    }
+    if (cache != nullptr && hit == nullptr) {
+      auto artifact = std::make_shared<OverlapArtifact>();
+      artifact->overlaps = result.overlaps;
+      artifact->run = result.align_run;
+      artifact->vtime = align_vtime;
+      cache->put_overlaps(ov_key, std::move(artifact));
+    }
     StageTiming t;
     t.wall = wall.seconds();
-    t.vtime = aligned.run.makespan;
-    result.timings["2-align"] = t;
-  } else {
-    auto aligned = align::find_overlaps_parallel(result.reads, config_.overlap,
-                                                 config_.ranks, config_.cost);
-    result.overlaps = std::move(aligned.overlaps);
-    StageTiming t;
-    t.wall = wall.seconds();
-    t.vtime = aligned.stats.makespan;
+    t.vtime = align_vtime;
     result.timings["2-align"] = t;
   }
 
   // --- Stage 3: overlap graph + multilevel graph set (§II-C). -------------
   wall.restart();
-  result.overlap_graph =
-      graph::build_overlap_graph(result.reads.size(), result.overlaps);
-  result.multilevel =
-      graph::build_multilevel(result.overlap_graph, config_.coarsen);
   {
+    std::shared_ptr<const CoarsenArtifact> hit;
+    if (cache != nullptr) hit = cache->get_coarsen(co_key);
+    double coarsen_vtime = 0.0;
+    if (hit != nullptr) {
+      result.overlap_graph = hit->overlap_graph;
+      result.multilevel = hit->multilevel;
+      coarsen_vtime = hit->vtime;
+      result.cache_hits.coarsen = true;
+    } else {
+      result.overlap_graph =
+          graph::build_overlap_graph(result.reads.size(), result.overlaps);
+      result.multilevel =
+          graph::build_multilevel(result.overlap_graph, config_.coarsen);
+      double edges = 0.0;
+      for (const auto& level : result.multilevel.levels) {
+        edges += static_cast<double>(level.edge_count());
+      }
+      coarsen_vtime = config_.cost.compute_cost(edges);
+      if (cache != nullptr) {
+        auto artifact = std::make_shared<CoarsenArtifact>();
+        artifact->overlap_graph = result.overlap_graph;
+        artifact->multilevel = result.multilevel;
+        artifact->vtime = coarsen_vtime;
+        cache->put_coarsen(co_key, std::move(artifact));
+      }
+    }
     StageTiming t;
     t.wall = wall.seconds();
-    double edges = 0.0;
-    for (const auto& level : result.multilevel.levels) {
-      edges += static_cast<double>(level.edge_count());
-    }
-    t.vtime = config_.cost.compute_cost(edges);
+    t.vtime = coarsen_vtime;
     result.timings["3-coarsen"] = t;
   }
 

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "align/overlapper.hpp"
+#include "common/env.hpp"
 #include "core/asm_build.hpp"
+#include "core/stage_cache.hpp"
 #include "core/stats.hpp"
 #include "dist/parallel.hpp"
 #include "graph/coarsen.hpp"
@@ -25,6 +27,17 @@
 namespace focus::core {
 
 struct FocusConfig {
+  /// Captures ONE EnvSnapshot and derives every env-defaulted knob from it —
+  /// the environment is read once per FocusConfig, never per call inside the
+  /// pipeline (OPERATIONS.md, "Environment snapshot").
+  FocusConfig() : FocusConfig(EnvSnapshot::capture()) {}
+
+  /// Derives the env-defaulted knobs (overlap.strategy, dist.protocol,
+  /// graph_store, fault_plan, fault, auto thread widths) from an
+  /// already-captured snapshot. Pass a default-constructed-from-fields
+  /// snapshot (EnvSnapshot{}) for a fully environment-independent config.
+  explicit FocusConfig(const EnvSnapshot& env);
+
   io::PreprocessConfig preprocess;
   align::OverlapperConfig overlap;
   graph::CoarsenConfig coarsen;
@@ -43,10 +56,10 @@ struct FocusConfig {
   /// Fault schedule for the parallel stages (preprocess, distributed
   /// overlap, partition, simplify, traverse). Defaults to the
   /// FOCUS_FAULT_SEED environment plan; empty means the fault-free fast path.
-  mpr::FaultPlan fault_plan = mpr::FaultPlan::from_env();
+  mpr::FaultPlan fault_plan;
   /// Retry bound and receive deadline for fault recovery. Defaults honor
   /// FOCUS_FAULT_MAX_RETRIES / FOCUS_FAULT_RECV_TIMEOUT.
-  mpr::FaultConfig fault = mpr::FaultConfig::from_env();
+  mpr::FaultConfig fault;
   /// Wire protocol of the fault-tolerant stages (all of the above). Defaults
   /// to the FOCUS_DIST_PROTOCOL environment selection; see dist::DistProtocol.
   dist::DistConfig dist;
@@ -55,13 +68,23 @@ struct FocusConfig {
   /// assembly graph straight into a spill-backed StoredAsmGraph (DESIGN.md
   /// §8) and parks the multilevel hierarchy on disk while the graph stages
   /// run; outputs are byte-identical to the in-memory backend.
-  graph::GraphStoreConfig graph_store = graph::GraphStoreConfig::from_env();
+  graph::GraphStoreConfig graph_store;
 };
 
 /// Virtual + wall time of one pipeline stage.
 struct StageTiming {
   double vtime = 0.0;  // simulated cluster makespan (seconds)
   double wall = 0.0;   // host wall clock (seconds)
+};
+
+/// Which stage artifacts were served from a StageCache (all false when no
+/// cache was supplied or every stage ran fresh). Not part of the assembly
+/// output proper: a cached run is byte-identical to a fresh one in every
+/// other field.
+struct StageCacheHits {
+  bool preprocess = false;
+  bool overlaps = false;
+  bool coarsen = false;
 };
 
 struct AssemblyResult {
@@ -88,6 +111,7 @@ struct AssemblyResult {
   std::vector<std::string> contigs;          // deduped final contigs
   AssemblyStats stats;
   std::map<std::string, StageTiming> timings;
+  StageCacheHits cache_hits;
 
   /// Sum of stage virtual times (the simulated end-to-end makespan).
   double total_vtime() const;
@@ -100,7 +124,16 @@ class FocusAssembler {
   const FocusConfig& config() const { return config_; }
 
   /// Runs the full pipeline on raw reads.
-  AssemblyResult assemble(const io::ReadSet& raw_reads) const;
+  AssemblyResult assemble(const io::ReadSet& raw_reads) const {
+    return assemble(raw_reads, nullptr);
+  }
+
+  /// Runs the full pipeline, consulting `cache` (may be null) for the
+  /// stage-1..3 artifacts and depositing freshly built ones. Byte-identical
+  /// to the uncached overload apart from AssemblyResult::cache_hits and
+  /// wall-clock timings.
+  AssemblyResult assemble(const io::ReadSet& raw_reads,
+                          StageCache* cache) const;
 
  private:
   FocusConfig config_;

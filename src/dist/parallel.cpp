@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "align/banded_nw.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "dist/stored_graph.hpp"
@@ -21,13 +22,18 @@
 namespace focus::dist {
 
 DistProtocol dist_protocol_from_env() {
+  return dist_protocol_from_env(EnvSnapshot::capture());
+}
+
+DistProtocol dist_protocol_from_env(const EnvSnapshot& env) {
   // Symmetric is the default as of PR 9: it is makespan-balanced (LPT over
   // measured scan estimates) and survives coordinator death, at the price of
   // the WAL replication charge. `master` remains selectable as the §V paper
   // baseline and fallback.
-  const char* env = std::getenv("FOCUS_DIST_PROTOCOL");
-  if (env == nullptr || *env == '\0') return DistProtocol::kSymmetric;
-  const std::string_view v(env);
+  if (!env.dist_protocol.has_value() || env.dist_protocol->empty()) {
+    return DistProtocol::kSymmetric;
+  }
+  const std::string_view v(*env.dist_protocol);
   if (v == "master") return DistProtocol::kMaster;
   if (v == "symmetric") return DistProtocol::kSymmetric;
   FOCUS_THROW("FOCUS_DIST_PROTOCOL must be 'master' or 'symmetric', got '" +

@@ -28,6 +28,10 @@
 #include "dist/traverse.hpp"
 #include "mpr/runtime.hpp"
 
+namespace focus {
+struct EnvSnapshot;
+}
+
 namespace focus::dist {
 
 /// Wire protocol of the distributed simplify/traverse drivers.
@@ -48,8 +52,12 @@ enum class DistProtocol {
   kSymmetric,
 };
 
-/// Reads FOCUS_DIST_PROTOCOL ('master' | 'symmetric'; unset/empty = master).
+/// Reads FOCUS_DIST_PROTOCOL ('master' | 'symmetric'; unset/empty =
+/// symmetric as of PR 9).
 DistProtocol dist_protocol_from_env();
+
+/// Same, resolved against an already-captured environment snapshot.
+DistProtocol dist_protocol_from_env(const EnvSnapshot& env);
 
 /// Knobs shared by the simplify/traverse drivers.
 struct DistConfig {

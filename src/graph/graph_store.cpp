@@ -1,11 +1,12 @@
 #include "graph/graph_store.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 #include "common/checksum.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 
 namespace focus::graph {
@@ -45,10 +46,13 @@ std::atomic<std::uint64_t> g_spill_dir_counter{0};
 }  // namespace
 
 GraphStoreConfig GraphStoreConfig::from_env() {
+  return from_env(EnvSnapshot::capture());
+}
+
+GraphStoreConfig GraphStoreConfig::from_env(const EnvSnapshot& env) {
   GraphStoreConfig config;
-  if (const char* v = std::getenv("FOCUS_GRAPH_BACKEND");
-      v != nullptr && *v != '\0') {
-    const std::string name(v);
+  if (env.graph_backend.has_value() && !env.graph_backend->empty()) {
+    const std::string& name = *env.graph_backend;
     if (name == "memory") {
       config.backend = GraphStoreBackend::kInMemory;
     } else if (name == "csr-spill" || name == "csr_spill") {
@@ -58,40 +62,35 @@ GraphStoreConfig GraphStoreConfig::from_env() {
                   "' (expected 'memory' or 'csr-spill')");
     }
   }
-  if (const char* v = std::getenv("FOCUS_GRAPH_MEM_BUDGET");
-      v != nullptr && *v != '\0') {
-    config.mem_budget_bytes = parse_mem_size(v);
+  if (env.graph_mem_budget.has_value() && !env.graph_mem_budget->empty()) {
+    config.mem_budget_bytes = parse_mem_size(*env.graph_mem_budget);
   }
-  if (const char* v = std::getenv("FOCUS_GRAPH_SPILL_DIR");
-      v != nullptr && *v != '\0') {
-    config.spill_dir = v;
+  if (env.graph_spill_dir.has_value() && !env.graph_spill_dir->empty()) {
+    config.spill_dir = *env.graph_spill_dir;
   }
-  if (const char* v = std::getenv("FOCUS_GRAPH_WRITE_FAULT");
-      v != nullptr && *v != '\0') {
-    const std::string text(v);
-    for (const char c : text) {
-      FOCUS_CHECK(c >= '0' && c <= '9',
-                  "FOCUS_GRAPH_WRITE_FAULT must be a non-negative integer, "
-                  "got '" + text + "'");
-    }
-    try {
-      config.write_fault_nth = std::stoull(text);
-    } catch (const std::exception&) {
-      FOCUS_THROW("FOCUS_GRAPH_WRITE_FAULT must be a non-negative integer, "
-                  "got '" + text + "'");
-    }
+  if (env.graph_write_fault.has_value() && !env.graph_write_fault->empty()) {
+    // focus::env::parse_u64 rejects signs, trailing junk and overflow with a
+    // typed error naming the value — a raw std::stoull would let a malformed
+    // knob escape as std::invalid_argument / std::out_of_range.
+    config.write_fault_nth =
+        focus::env::parse_u64("FOCUS_GRAPH_WRITE_FAULT",
+                              *env.graph_write_fault);
   }
   return config;
 }
 
 std::size_t parse_mem_size(const std::string& text) {
   FOCUS_CHECK(!text.empty(), "memory size: empty string");
+  // Digits only before the optional unit suffix: std::stoull would accept a
+  // leading sign ("-5M" wraps to a huge budget) and whitespace.
   std::size_t pos = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+  FOCUS_CHECK(pos > 0, "memory size: cannot parse '" + text + "'");
   unsigned long long value = 0;
   try {
-    value = std::stoull(text, &pos);
+    value = std::stoull(text.substr(0, pos));
   } catch (const std::exception&) {
-    FOCUS_THROW("memory size: cannot parse '" + text + "'");
+    FOCUS_THROW("memory size: out of range '" + text + "'");
   }
   std::size_t factor = 1;
   if (pos < text.size()) {
@@ -106,6 +105,9 @@ std::size_t parse_mem_size(const std::string& text) {
                     "' (expected K, M or G)");
     }
   }
+  FOCUS_CHECK(factor == 1 ||
+                  value <= std::numeric_limits<std::size_t>::max() / factor,
+              "memory size: out of range '" + text + "'");
   return static_cast<std::size_t>(value) * factor;
 }
 

@@ -34,6 +34,10 @@
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 
+namespace focus {
+struct EnvSnapshot;
+}
+
 namespace focus::graph {
 
 /// Storage backend of the assembly-graph phases (FocusConfig::graph_store).
@@ -68,6 +72,9 @@ struct GraphStoreConfig {
   /// injection, a non-negative integer). Unknown backend names and
   /// malformed numbers throw.
   static GraphStoreConfig from_env();
+  /// Same, resolved against an already-captured snapshot (FocusConfig takes
+  /// one snapshot and derives every env default from it).
+  static GraphStoreConfig from_env(const EnvSnapshot& env);
 };
 
 /// Parses a byte size with an optional K/M/G suffix (power-of-two units):

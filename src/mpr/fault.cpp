@@ -1,10 +1,9 @@
 #include "mpr/fault.hpp"
 
-#include <cerrno>
-#include <cstdlib>
 #include <string>
 
 #include "common/checksum.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "mpr/message.hpp"
 
@@ -17,46 +16,15 @@ double hash_real(std::uint64_t& state) {
   return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
 }
 
-// Strict env parsers: a set-but-malformed knob is an operator error, never a
-// silent fallback — the error names the variable and the offending value
-// (same contract as the malformed-FASTQ diagnostics in io/preprocess).
+// Env values arrive through an EnvSnapshot (common/env.hpp — the single
+// getenv site); the strict parsers there enforce the operator-error
+// contract: a set-but-malformed knob throws naming the variable and the
+// offending value, never a silent fallback.
 
-double env_double(const char* name, const char* v) {
-  char* end = nullptr;
-  errno = 0;
-  const double parsed = std::strtod(v, &end);
-  if (*v == '\0' || end == nullptr || *end != '\0' || errno == ERANGE) {
-    FOCUS_THROW(std::string(name) + " must be a number, got '" + v + "'");
-  }
-  return parsed;
-}
-
-double env_rate(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return 0.0;
-  const double rate = env_double(name, v);
-  if (!(rate >= 0.0 && rate <= 1.0)) {
-    FOCUS_THROW(std::string(name) + " must be a probability in [0, 1], got '" +
-                v + "'");
-  }
-  return rate;
-}
-
-std::uint64_t env_u64(const char* name, const char* v) {
-  for (const char* c = v; *c != '\0'; ++c) {
-    if (*c < '0' || *c > '9') {
-      FOCUS_THROW(std::string(name) +
-                  " must be an unsigned integer, got '" + v + "'");
-    }
-  }
-  char* end = nullptr;
-  errno = 0;
-  const std::uint64_t parsed = std::strtoull(v, &end, 10);
-  if (*v == '\0' || end == nullptr || *end != '\0' || errno == ERANGE) {
-    FOCUS_THROW(std::string(name) +
-                " must be an unsigned integer, got '" + v + "'");
-  }
-  return parsed;
+double snapshot_rate(const char* name,
+                     const std::optional<std::string>& value) {
+  if (!value.has_value()) return 0.0;
+  return env::parse_rate(name, *value);
 }
 
 }  // namespace
@@ -103,27 +71,35 @@ FaultDecision FaultPlan::decide(Rank rank, std::uint64_t op) const {
 }
 
 FaultPlan FaultPlan::from_env() {
+  return from_env(EnvSnapshot::capture());
+}
+
+FaultPlan FaultPlan::from_env(const EnvSnapshot& env) {
   FaultPlan plan;
-  const char* seed_env = std::getenv("FOCUS_FAULT_SEED");
-  if (seed_env == nullptr) {
+  if (!env.fault_seed.has_value()) {
     // A rate knob without the seed would be silently inert — the operator
     // believes faults are being injected when none are. Reject it instead.
-    for (const char* name : {"FOCUS_FAULT_CRASH", "FOCUS_FAULT_DROP",
-                             "FOCUS_FAULT_DUP", "FOCUS_FAULT_CORRUPT",
-                             "FOCUS_FAULT_DELAY"}) {
-      if (std::getenv(name) != nullptr) {
+    const std::pair<const char*, const std::optional<std::string>&> rates[] = {
+        {"FOCUS_FAULT_CRASH", env.fault_crash},
+        {"FOCUS_FAULT_DROP", env.fault_drop},
+        {"FOCUS_FAULT_DUP", env.fault_dup},
+        {"FOCUS_FAULT_CORRUPT", env.fault_corrupt},
+        {"FOCUS_FAULT_DELAY", env.fault_delay},
+    };
+    for (const auto& [name, value] : rates) {
+      if (value.has_value()) {
         FOCUS_THROW(std::string(name) +
                     " is set but has no effect without FOCUS_FAULT_SEED");
       }
     }
     return plan;
   }
-  plan.seed = env_u64("FOCUS_FAULT_SEED", seed_env);
-  plan.p_crash = env_rate("FOCUS_FAULT_CRASH");
-  plan.p_drop = env_rate("FOCUS_FAULT_DROP");
-  plan.p_duplicate = env_rate("FOCUS_FAULT_DUP");
-  plan.p_corrupt = env_rate("FOCUS_FAULT_CORRUPT");
-  plan.p_delay = env_rate("FOCUS_FAULT_DELAY");
+  plan.seed = env::parse_u64("FOCUS_FAULT_SEED", *env.fault_seed);
+  plan.p_crash = snapshot_rate("FOCUS_FAULT_CRASH", env.fault_crash);
+  plan.p_drop = snapshot_rate("FOCUS_FAULT_DROP", env.fault_drop);
+  plan.p_duplicate = snapshot_rate("FOCUS_FAULT_DUP", env.fault_dup);
+  plan.p_corrupt = snapshot_rate("FOCUS_FAULT_CORRUPT", env.fault_corrupt);
+  plan.p_delay = snapshot_rate("FOCUS_FAULT_DELAY", env.fault_delay);
   // A bare seed with no rates still means "inject something": default to a
   // light mix of every recoverable fault kind.
   if (plan.empty()) {
@@ -133,21 +109,27 @@ FaultPlan FaultPlan::from_env() {
 }
 
 FaultConfig FaultConfig::from_env() {
+  return from_env(EnvSnapshot::capture());
+}
+
+FaultConfig FaultConfig::from_env(const EnvSnapshot& env) {
   FaultConfig config;
-  if (const char* v = std::getenv("FOCUS_FAULT_MAX_RETRIES")) {
-    const std::uint64_t retries = env_u64("FOCUS_FAULT_MAX_RETRIES", v);
+  if (env.fault_max_retries.has_value()) {
+    const std::uint64_t retries =
+        env::parse_u64("FOCUS_FAULT_MAX_RETRIES", *env.fault_max_retries);
     if (retries == 0 || retries > 1000) {
       FOCUS_THROW(std::string("FOCUS_FAULT_MAX_RETRIES must be in [1, 1000]") +
-                  ", got '" + v + "'");
+                  ", got '" + *env.fault_max_retries + "'");
     }
     config.max_retries = static_cast<int>(retries);
   }
-  if (const char* v = std::getenv("FOCUS_FAULT_RECV_TIMEOUT")) {
-    const double timeout = env_double("FOCUS_FAULT_RECV_TIMEOUT", v);
+  if (env.fault_recv_timeout.has_value()) {
+    const double timeout =
+        env::parse_double("FOCUS_FAULT_RECV_TIMEOUT", *env.fault_recv_timeout);
     if (!(timeout > 0.0)) {
       FOCUS_THROW(std::string("FOCUS_FAULT_RECV_TIMEOUT must be a positive "
                               "virtual-time interval, got '") +
-                  v + "'");
+                  *env.fault_recv_timeout + "'");
     }
     config.recv_timeout_vtime = timeout;
   }

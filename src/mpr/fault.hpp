@@ -25,6 +25,10 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 
+namespace focus {
+struct EnvSnapshot;
+}
+
 namespace focus::mpr {
 
 /// A rank died — either the fault plan crashed it at this op, or it cannot
@@ -103,6 +107,9 @@ struct FaultPlan {
   /// Plan from FOCUS_FAULT_SEED / FOCUS_FAULT_{CRASH,DROP,DUP,CORRUPT,DELAY}
   /// environment variables; empty when FOCUS_FAULT_SEED is unset.
   static FaultPlan from_env();
+  /// Same, resolved against an already-captured snapshot (FocusConfig takes
+  /// one snapshot and derives every env default from it).
+  static FaultPlan from_env(const EnvSnapshot& env);
 };
 
 /// Recovery knobs for the fault-tolerant distributed drivers.
@@ -118,6 +125,8 @@ struct FaultConfig {
   /// variables keep the defaults, malformed ones throw with the offending
   /// value.
   static FaultConfig from_env();
+  /// Same, resolved against an already-captured snapshot.
+  static FaultConfig from_env(const EnvSnapshot& env);
 };
 
 }  // namespace focus::mpr

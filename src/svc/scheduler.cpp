@@ -1,0 +1,138 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "align/align_scratch.hpp"
+
+namespace focus::svc {
+
+JobScheduler::JobScheduler(SchedulerConfig config)
+    : config_(std::move(config)) {
+  FOCUS_CHECK(config_.max_in_flight >= 1,
+              "SchedulerConfig.max_in_flight must be >= 1");
+  FOCUS_CHECK(config_.max_queued >= 1,
+              "SchedulerConfig.max_queued must be >= 1");
+  if (config_.enable_cache) {
+    cache_ = std::make_unique<ArtifactCache>(config_.cache_budget_bytes);
+  }
+  lanes_.reserve(config_.max_in_flight);
+  for (unsigned i = 0; i < config_.max_in_flight; ++i) {
+    lanes_.emplace_back([this] { lane_main(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+std::future<JobResult> JobScheduler::submit(std::string tenant,
+                                            io::ReadSet reads,
+                                            core::FocusConfig config) {
+  std::future<JobResult> future;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) {
+      throw Rejected(Rejected::Reason::kShuttingDown,
+                     "job rejected: scheduler is shutting down");
+    }
+    if (pending_.size() >= config_.max_queued) {
+      throw Rejected(Rejected::Reason::kQueueFull,
+                     "job rejected: pending queue is full (max_queued=" +
+                         std::to_string(config_.max_queued) + ")");
+    }
+    Pending job;
+    job.id = next_id_++;
+    job.tenant = std::move(tenant);
+    job.reads = std::move(reads);
+    job.config = std::move(config);
+    future = job.promise.get_future();
+    pending_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void JobScheduler::shutdown() {
+  std::vector<std::thread> lanes;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+    lanes.swap(lanes_);  // claim the joins; makes concurrent shutdown safe
+  }
+  cv_.notify_all();
+  for (std::thread& lane : lanes) {
+    if (lane.joinable()) lane.join();
+  }
+}
+
+std::vector<JobStats> JobScheduler::completed_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return completed_;
+}
+
+double JobScheduler::tenant_vtime(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenant_vtime_.find(tenant);
+  return it == tenant_vtime_.end() ? 0.0 : it->second;
+}
+
+// Fair share: the pending job whose tenant has the least accumulated
+// virtual-time charge; ties (including the all-zero cold start) fall back to
+// submission order. Caller holds mu_.
+std::size_t JobScheduler::pick_next_locked() const {
+  std::size_t best = 0;
+  double best_vtime = 0.0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    auto it = tenant_vtime_.find(pending_[i].tenant);
+    const double v = it == tenant_vtime_.end() ? 0.0 : it->second;
+    if (i == 0 || v < best_vtime ||
+        (v == best_vtime && pending_[i].id < pending_[best].id)) {
+      best = i;
+      best_vtime = v;
+    }
+  }
+  return best;
+}
+
+void JobScheduler::lane_main() {
+  for (;;) {
+    Pending job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return shutdown_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // shutdown with a drained queue
+      const std::size_t slot = pick_next_locked();
+      job = std::move(pending_[slot]);
+      pending_.erase(pending_.begin() +
+                     static_cast<std::ptrdiff_t>(slot));
+    }
+    if (config_.before_execute) config_.before_execute(job.tenant, job.id);
+
+    JobStats stats;
+    stats.job_id = job.id;
+    stats.tenant = job.tenant;
+    stats.queue_wall = job.queued.seconds();
+    Timer exec;
+    try {
+      core::FocusAssembler assembler(std::move(job.config));
+      core::AssemblyResult assembly =
+          assembler.assemble(job.reads, cache_.get());
+      stats.exec_wall = exec.seconds();
+      stats.vtime = assembly.total_vtime();
+      stats.cache_hits = assembly.cache_hits;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        tenant_vtime_[stats.tenant] += stats.vtime;
+        completed_.push_back(stats);
+      }
+      job.promise.set_value(JobResult{std::move(assembly), stats});
+    } catch (...) {
+      // The tenant is not charged for a failed job; the exception travels
+      // through the future.
+      job.promise.set_exception(std::current_exception());
+    }
+    // Job-boundary hygiene on the lane thread (see align_scratch.hpp).
+    align::tls_align_scratch().reset(config_.scratch_soft_cap_bytes);
+  }
+}
+
+}  // namespace focus::svc

@@ -1,0 +1,150 @@
+// Multi-tenant job runtime: admission control, fair-share dispatch, and
+// stage-artifact reuse for concurrent in-process assemblies.
+//
+// A JobScheduler owns `max_in_flight` lane threads. submit() performs
+// admission control — at most `max_queued` jobs may wait beyond the ones
+// executing — and returns a future; over-admission throws the typed Rejected
+// error instead of blocking or silently dropping. Each lane runs one
+// FocusAssembler at a time against the shared ArtifactCache, so repeat and
+// incremental submissions skip the cached early stages.
+//
+// Fair share uses the pipeline's own deterministic currency: every completed
+// job charges its tenant the job's total *virtual* time (the simulated
+// cluster makespan, identical across hosts and thread widths), and dispatch
+// picks the pending job whose tenant has the smallest accumulated charge,
+// breaking ties by submission order. A tenant that has consumed little
+// cluster time therefore overtakes a backlogged heavy tenant, but within one
+// tenant jobs stay FIFO. Failed jobs charge nothing (their future carries the
+// exception).
+//
+// Job-boundary hygiene: after each job a lane resets its thread-local
+// alignment arena under `scratch_soft_cap_bytes` (see align_scratch.hpp), so
+// one huge tenant cannot pin high-water scratch buffers on every lane
+// forever. Stage-internal pool workers and mpr rank threads are per-call and
+// release their arenas when they exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/assembler.hpp"
+#include "io/read.hpp"
+#include "svc/artifact_cache.hpp"
+
+namespace focus::svc {
+
+struct SchedulerConfig {
+  /// Lane threads: jobs executing concurrently. Must be >= 1.
+  unsigned max_in_flight = 2;
+  /// Jobs allowed to wait beyond the executing ones. Must be >= 1.
+  std::size_t max_queued = 64;
+  /// Shared ArtifactCache budget; 0 = unlimited residency.
+  std::size_t cache_budget_bytes = std::size_t{512} << 20;
+  /// Disable to run every job cold (no artifact reuse).
+  bool enable_cache = true;
+  /// Per-lane AlignScratch soft cap applied after each job; 0 = always
+  /// release the arena.
+  std::size_t scratch_soft_cap_bytes = std::size_t{32} << 20;
+  /// Test hook: runs on the lane thread after dispatch, before the job body.
+  std::function<void(const std::string& tenant, std::uint64_t job_id)>
+      before_execute;
+};
+
+/// Typed admission failure: the caller distinguishes backpressure
+/// (kQueueFull — retry later / shed load) from teardown (kShuttingDown).
+class Rejected : public Error {
+ public:
+  enum class Reason { kQueueFull, kShuttingDown };
+  Rejected(Reason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+struct JobStats {
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  double queue_wall = 0.0;  // seconds between admission and dispatch
+  double exec_wall = 0.0;   // seconds executing on the lane
+  double vtime = 0.0;       // simulated makespan charged to the tenant
+  core::StageCacheHits cache_hits;
+};
+
+struct JobResult {
+  core::AssemblyResult assembly;
+  JobStats stats;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerConfig config = {});
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admits one assembly job for `tenant`. Throws Rejected when the pending
+  /// queue is full or the scheduler is shutting down; otherwise the returned
+  /// future yields the result (or the job's exception).
+  std::future<JobResult> submit(std::string tenant, io::ReadSet reads,
+                                core::FocusConfig config);
+
+  /// Stops admitting, drains every already-admitted job, joins the lanes.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Snapshot of per-job statistics, in completion order.
+  std::vector<JobStats> completed_stats() const;
+
+  /// Accumulated virtual-time charge of one tenant (0 if unknown).
+  double tenant_vtime(const std::string& tenant) const;
+
+  /// Shared artifact cache, or nullptr when disabled.
+  const ArtifactCache* cache() const { return cache_.get(); }
+
+  CacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : CacheStats{};
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    std::string tenant;
+    io::ReadSet reads;
+    core::FocusConfig config;
+    std::promise<JobResult> promise;
+    Timer queued;
+  };
+
+  void lane_main();
+  std::size_t pick_next_locked() const;
+
+  SchedulerConfig config_;
+  std::unique_ptr<ArtifactCache> cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  std::map<std::string, double> tenant_vtime_;
+  std::vector<JobStats> completed_;
+  std::uint64_t next_id_ = 1;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> lanes_;
+};
+
+}  // namespace focus::svc

@@ -14,6 +14,7 @@
 
 #include "align/overlapper.hpp"
 #include "common/dna.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/assembler.hpp"
@@ -44,11 +45,27 @@ TEST(ThreadPool, FocusThreadsEnvControlsAutoWidth) {
   EXPECT_EQ(resolve_thread_count(0), 3u);
   EXPECT_EQ(resolve_thread_count(5), 5u);  // explicit request wins
 
-  // Invalid values fall back to hardware concurrency.
+  // "0" means auto (hardware concurrency), and unset falls back the same way.
   ASSERT_EQ(setenv("FOCUS_THREADS", "0", 1), 0);
   EXPECT_GE(default_thread_count(), 1u);
-  ASSERT_EQ(setenv("FOCUS_THREADS", "garbage", 1), 0);
+  ASSERT_EQ(unsetenv("FOCUS_THREADS"), 0);
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, FocusThreadsRejectsMalformedValues) {
+  // Malformed or out-of-range widths are configuration errors, not silent
+  // hardware fallbacks: the typed error names the variable and the value.
+  for (const char* bad : {"garbage", "4x", " 4", "4 ", "-1", "257", "1e2",
+                          "99999999999999999999", "0x8"}) {
+    SCOPED_TRACE(std::string("FOCUS_THREADS=") + bad);
+    ASSERT_EQ(setenv("FOCUS_THREADS", bad, 1), 0);
+    EXPECT_THROW(default_thread_count(), Error);
+  }
+  // The boundary widths themselves are accepted.
+  ASSERT_EQ(setenv("FOCUS_THREADS", "1", 1), 0);
+  EXPECT_EQ(default_thread_count(), 1u);
+  ASSERT_EQ(setenv("FOCUS_THREADS", "256", 1), 0);
+  EXPECT_EQ(default_thread_count(), 256u);
   ASSERT_EQ(unsetenv("FOCUS_THREADS"), 0);
 }
 

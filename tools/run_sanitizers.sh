@@ -22,8 +22,19 @@
 # paths and the FaultEnv malformed-knob tests), and the whole-pipeline
 # chaos soak (label `soak`: 50-seed storms and crash sweeps through the
 # full assembler across protocols and graph-store backends, with the spill
-# manager's nth-write disk fault armed) are exercised under both memory/UB
+# manager's nth-write disk fault armed), the job-runtime suite (svc_test:
+# EnvSnapshot capture/strict parsing, ArtifactCache LRU policy under
+# concurrent lanes, JobScheduler admission + virtual-time fair share), the
+# concurrent-assembler determinism suite (concurrent_jobs_test: two
+# simultaneous in-process pipelines vs the serial oracle across protocols ×
+# backends × pool widths — the TSan proof obligation for the EnvSnapshot
+# sweep and the per-pool TLS slot fix), and bench_jobs's multi-tenant
+# scheduler smoke (label `perf-smoke`) are exercised under both memory/UB
 # and data-race checking.
+#
+# Review note: src/common/env.cpp must stay the only std::getenv call site
+# (grep 'std::getenv' src/); scattered env reads were the original
+# concurrent-assembler hazard.
 #
 #   tools/run_sanitizers.sh [thread|address|asan-ubsan] [ctest args...]
 #
